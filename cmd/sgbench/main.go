@@ -1,0 +1,118 @@
+// Command sgbench regenerates the paper's tables and figures (§8–§10) at a
+// configurable scale. Each subcommand corresponds to one artifact; "all"
+// runs everything in paper order.
+//
+// Usage:
+//
+//	sgbench [flags] table1|fig9|fig10|fig11|fig12|fig13|fig14|fig15|ablation|treecycle|theory|all
+//
+// Flags scale the study: -scale divides the Table 1 graph sizes, -workers /
+// -workerslow set the simulated rank counts (the paper used 512 and 32
+// Blue Gene/Q ranks), -graphs and -queries restrict the benchmark set.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/exp"
+)
+
+func main() {
+	var (
+		scale      = flag.Int("scale", 0, "stand-in size divisor (default 512)")
+		workers    = flag.Int("workers", 0, "high simulated rank count (default 8)")
+		workersLow = flag.Int("workerslow", 0, "low simulated rank count (default 2)")
+		seed       = flag.Int64("seed", 1, "random seed")
+		trials     = flag.Int("trials", 0, "Figure 15 trials per combo (default 10)")
+		graphs     = flag.String("graphs", "", "comma-separated stand-in subset")
+		queries    = flag.String("queries", "", "comma-separated query subset")
+	)
+	flag.Parse()
+	cfg := exp.Config{
+		Scale:      *scale,
+		Workers:    *workers,
+		WorkersLow: *workersLow,
+		Seed:       *seed,
+		Trials:     *trials,
+		Graphs:     split(*graphs),
+		Queries:    split(*queries),
+	}
+	args := flag.Args()
+	if len(args) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: sgbench [flags] table1|fig9|fig10|fig11|fig12|fig13|fig14|fig15|ablation|treecycle|theory|all")
+		os.Exit(2)
+	}
+	for _, cmd := range args {
+		if err := run(cmd, cfg); err != nil {
+			fmt.Fprintln(os.Stderr, "sgbench:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+func run(cmd string, cfg exp.Config) error {
+	w := os.Stdout
+	start := time.Now()
+	defer func() { fmt.Fprintf(w, "[%s took %v]\n", cmd, time.Since(start).Round(time.Millisecond)) }()
+	switch cmd {
+	case "table1":
+		exp.Table1(w, cfg)
+	case "fig9":
+		_, err := exp.Figure9(w, cfg)
+		return err
+	case "fig10":
+		_, err := exp.Figure10(w, cfg)
+		return err
+	case "fig11":
+		_, err := exp.Figure11(w, cfg)
+		return err
+	case "fig12":
+		_, err := exp.Figure12(w, cfg)
+		return err
+	case "fig13":
+		if _, err := exp.Figure13Strong(w, cfg); err != nil {
+			return err
+		}
+		_, err := exp.Figure13Weak(w, cfg)
+		return err
+	case "fig14":
+		_, err := exp.Figure14(w, cfg)
+		return err
+	case "fig15":
+		_, err := exp.Figure15(w, cfg)
+		return err
+	case "theory":
+		_, err := exp.Theory(w, cfg)
+		return err
+	case "ablation":
+		_, err := exp.Ablation(w, cfg)
+		return err
+	case "treecycle":
+		_, err := exp.TreeVsCycle(w, cfg)
+		return err
+	case "all":
+		for _, c := range []string{"table1", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "ablation", "treecycle", "theory"} {
+			if err := run(c, cfg); err != nil {
+				return err
+			}
+		}
+	default:
+		return fmt.Errorf("unknown experiment %q", cmd)
+	}
+	return nil
+}
+
+func split(s string) []string {
+	if s == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	for i := range parts {
+		parts[i] = strings.TrimSpace(parts[i])
+	}
+	return parts
+}

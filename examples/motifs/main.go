@@ -1,0 +1,45 @@
+// Motif counting in a protein-interaction-style network — the application
+// that motivated color coding in computational biology (Alon et al., and
+// the paper's dros/ecoli/brain queries). We build a PPI-like power-law
+// graph and estimate the abundance of each biological motif from the
+// Figure 8 catalog, reporting the per-motif estimate and its precision.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	subgraph "repro"
+)
+
+func main() {
+	// PPI networks are small (thousands of proteins) with heavy-tailed
+	// degree distributions; α≈1.7 mimics the dros/ecoli interactomes.
+	g := subgraph.GeneratePowerLaw("ppi", 4000, 1.7, 11)
+	st := g.Stats()
+	fmt.Printf("interactome: %d proteins, %d interactions, hub degree %d\n\n",
+		st.Nodes, st.Edges, st.MaxDeg)
+
+	motifs := []string{"dros", "ecoli1", "ecoli2", "brain1", "brain2", "brain3"}
+	fmt.Printf("%-8s %3s %12s %14s %10s %10s\n", "motif", "k", "matches", "subgraphs", "CV", "time")
+	for _, name := range motifs {
+		q, err := subgraph.QueryByName(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		start := time.Now()
+		est, err := subgraph.Estimate(g, q, subgraph.EstimateOptions{
+			Algorithm: subgraph.DB,
+			Workers:   4,
+			Trials:    5,
+			Seed:      23,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-8s %3d %12.0f %14.0f %10.3f %10v\n",
+			name, q.K, est.Matches, est.Subgraphs, est.CV, time.Since(start).Round(time.Millisecond))
+	}
+	fmt.Println("\n(matches are ordered embeddings; subgraphs divide out the motif's automorphisms)")
+}

@@ -1,0 +1,46 @@
+// Quickstart: estimate how many 5-cycles a random power-law graph
+// contains, and check the estimate against brute force. This is the
+// smallest end-to-end use of the library: generate (or load) a data graph,
+// pick a query, call Estimate.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	subgraph "repro"
+)
+
+func main() {
+	// A small Chung-Lu power-law graph (the paper's §9 random-graph model).
+	g := subgraph.GeneratePowerLaw("demo", 2000, 1.6, 42)
+	st := g.Stats()
+	fmt.Printf("data graph: %d nodes, %d edges, max degree %d\n", st.Nodes, st.Edges, st.MaxDeg)
+
+	// The pentagon C5 — the paper's introduction motivates exactly this
+	// query: even 5-cycles on a million-edge graph have billions of matches.
+	q, err := subgraph.QueryByName("cycle5")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Color coding: 8 independent colorings, each counted exactly by the
+	// degree-based (DB) solver on 4 simulated ranks, then scaled by k^k/k!.
+	est, err := subgraph.Estimate(g, q, subgraph.EstimateOptions{
+		Algorithm: subgraph.DB,
+		Workers:   4,
+		Trials:    8,
+		Seed:      7,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("colorful counts per coloring: %v\n", est.Counts)
+	fmt.Printf("estimated matches:   %.0f (coefficient of variation %.3f)\n", est.Matches, est.CV)
+	fmt.Printf("estimated 5-cycles:  %.0f (matches / aut(C5)=10)\n", est.Subgraphs)
+
+	// On a graph this small we can verify by brute force.
+	exact := subgraph.ExactCount(g, q)
+	fmt.Printf("exact matches:       %d (estimate off by %+.1f%%)\n",
+		exact, 100*(est.Matches-float64(exact))/float64(exact))
+}

@@ -1,0 +1,188 @@
+// Package core implements the paper's contribution: colorful subgraph
+// counting for treewidth-2 queries over a simulated distributed engine.
+// The decomposition tree is traversed bottom-up (§4.2); leaf-edge blocks
+// and cycle blocks are solved by join operations over projection tables
+// (§4.3, §5), with two interchangeable cycle solvers:
+//
+//   - PS (Path Splitting, §5.1 Figure 4): the baseline, equivalent to the
+//     dynamic program of Alon et al.; splits each cycle at its boundary
+//     nodes and extends paths with no pruning.
+//   - DB (Degree-Based, §5.1 Figure 6, §5.2 Figure 7): the paper's
+//     algorithm; partitions colorful matches by the position of their
+//     highest vertex in the degree order and counts only high-starting
+//     paths, pruning the search around high-degree vertices.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/decomp"
+	"repro/internal/engine"
+	"repro/internal/graph"
+	"repro/internal/query"
+	"repro/internal/sig"
+)
+
+// Algorithm selects the cycle solver.
+type Algorithm int
+
+const (
+	// DB is the paper's degree-based algorithm (default).
+	DB Algorithm = iota
+	// PS is the path-splitting baseline.
+	PS
+	// PSEven is the modified baseline discussed in §5.1: split every cycle
+	// into two equal-length walks (recording boundary mappings that fall
+	// inside a walk) but without the degree-ordering constraint. The paper
+	// implemented it and found it does not fix wasteful computation or load
+	// imbalance; it is kept as an ablation separating DB's two ideas
+	// (balanced splits vs. degree ordering).
+	PSEven
+)
+
+func (a Algorithm) String() string {
+	switch a {
+	case PS:
+		return "PS"
+	case PSEven:
+		return "PSEven"
+	}
+	return "DB"
+}
+
+// Options configures a counting run.
+type Options struct {
+	Algorithm Algorithm
+	// Workers is the number of simulated ranks; ≤ 0 means 4.
+	Workers int
+	// Plan overrides the decomposition tree; nil uses the calibrated §6
+	// planner (PickPlan).
+	Plan *decomp.Tree
+}
+
+// Stats reports the engine-level counters of one run: the paper's load
+// metric (projection-function operations, Figure 11), communication volume,
+// and table pressure.
+type Stats struct {
+	Workers      int
+	MaxLoad      int64
+	AvgLoad      float64
+	TotalLoad    int64
+	Messages     int64
+	TableEntries int64 // total projection-table entries materialized
+	Loads        []int64
+}
+
+// CountColorful counts the colorful matches of q in g under the given
+// coloring (one color in [0, q.K) per data vertex). This is the inner
+// kernel of the color-coding estimator (§2).
+func CountColorful(g *graph.Graph, q *query.Graph, colors []uint8, opts Options) (uint64, Stats, error) {
+	plan := opts.Plan
+	if plan == nil {
+		var err error
+		plan, err = PickPlan(q)
+		if err != nil {
+			return 0, Stats{}, err
+		}
+	}
+	if err := validate(g, q, colors, plan); err != nil {
+		return 0, Stats{}, err
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = 4
+	}
+	s := &solver{
+		g:       g,
+		colors:  colors,
+		cl:      engine.NewCluster(workers, g.N()),
+		alg:     opts.Algorithm,
+		tables:  make(map[*decomp.Block]*engine.Sharded),
+		grouped: make(map[groupKey][]map[uint32][]toEntry),
+	}
+	count := s.run(plan)
+	max, avg, total := s.cl.LoadStats()
+	return count, Stats{
+		Workers:      s.cl.P(),
+		MaxLoad:      max,
+		AvgLoad:      avg,
+		TotalLoad:    total,
+		Messages:     s.cl.Messages(),
+		TableEntries: s.entries,
+		Loads:        s.cl.Loads(),
+	}, nil
+}
+
+func validate(g *graph.Graph, q *query.Graph, colors []uint8, plan *decomp.Tree) error {
+	if q.K < 1 {
+		return fmt.Errorf("core: empty query")
+	}
+	if q.K > 16 {
+		return fmt.Errorf("core: query %s has %d nodes; max 16", q.Name, q.K)
+	}
+	if plan.Query != q && (plan.Query.K != q.K || plan.Query.M() != q.M()) {
+		return fmt.Errorf("core: plan was built for query %s, not %s", plan.Query.Name, q.Name)
+	}
+	if len(colors) != g.N() {
+		return fmt.Errorf("core: coloring has %d entries for %d vertices", len(colors), g.N())
+	}
+	for v, c := range colors {
+		if int(c) >= q.K {
+			return fmt.Errorf("core: vertex %d has color %d ≥ k=%d", v, c, q.K)
+		}
+	}
+	return nil
+}
+
+// solver carries the per-run state: the block result tables and the cached
+// groupings of child tables used by joins.
+type solver struct {
+	g       *graph.Graph
+	colors  []uint8
+	cl      *engine.Cluster
+	alg     Algorithm
+	tables  map[*decomp.Block]*engine.Sharded
+	grouped map[groupKey][]map[uint32][]toEntry
+	entries int64
+}
+
+func (s *solver) colorOf(v uint32) sig.Sig { return sig.Of(s.colors[v]) }
+
+// track records a freshly built table's size for the stats.
+func (s *solver) track(t *engine.Sharded) *engine.Sharded {
+	s.entries += int64(t.Len())
+	return t
+}
+
+// run traverses the decomposition tree bottom-up (§4.2), solving each block
+// from its children's projection tables, and returns the count produced by
+// the root block.
+func (s *solver) run(plan *decomp.Tree) uint64 {
+	var answer uint64
+	for _, b := range plan.Blocks {
+		isRoot := b == plan.Root
+		switch b.Kind {
+		case decomp.LeafEdge:
+			s.tables[b] = s.solveLeaf(b)
+		case decomp.CycleBlock:
+			if isRoot {
+				answer = s.solveRootCycle(b)
+			} else {
+				s.tables[b] = s.solveCycle(b)
+			}
+		case decomp.SingletonRoot:
+			if len(b.Children) == 0 {
+				// A 1-node query: every vertex is a colorful match.
+				answer = uint64(s.g.N())
+			} else {
+				answer = s.tables[b.Children[0]].Total()
+			}
+		}
+		// Children's tables are dead once their parent is solved.
+		for _, c := range b.Children {
+			delete(s.tables, c)
+			s.dropGroups(c)
+		}
+	}
+	return answer
+}

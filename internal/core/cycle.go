@@ -1,0 +1,272 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/decomp"
+	"repro/internal/engine"
+	"repro/internal/table"
+)
+
+// This file implements the cycle-block solvers (§5). A cycle of length L is
+// split at two positions into the clockwise walk P+ and the counter-
+// clockwise walk P− (both start→end); their tables are built by the path
+// machinery and joined on the shared endpoints. PS performs one split at
+// the boundary nodes (Figure 4); DB performs L splits — one per candidate
+// highest position h, at (h, h⊕⌊L/2⌋) — with the high-starting order
+// constraint, and aggregates (Figure 6, Equation 1). Annotation convention
+// (§5.2): P+ includes only the end node's annotation, P− only the start's.
+
+// bndLoc says where a boundary node's mapped vertex is found after the
+// final join of one split.
+type bndLoc int
+
+const (
+	locStart  bndLoc = iota // π at the split start: P+ key U
+	locEnd                  // π at the split end: P+ key V
+	locPlusX                // recorded in P+ key X
+	locPlusY                // recorded in P+ key Y
+	locMinusX               // recorded in P− key X
+	locMinusY               // recorded in P− key Y
+)
+
+// split is one (start,end) cycle split with boundary locations resolved.
+type split struct {
+	plus, minus pathSpec
+	locs        []bndLoc // parallel to block.Boundary
+}
+
+// solveCycle computes the projection table of a non-root cycle block:
+// unary for one boundary node, binary (Boundary[0], Boundary[1]) for two.
+func (s *solver) solveCycle(b *decomp.Block) *engine.Sharded {
+	out := engine.NewSharded(s.cl)
+	for _, sp := range s.splits(b) {
+		plus := s.buildPath(sp.plus)
+		minus := s.buildPath(sp.minus)
+		s.joinSplit(b, sp, plus, minus, out, nil)
+	}
+	return s.track(out)
+}
+
+// solveRootCycle computes the total colorful-match count of a root cycle
+// block (no boundary nodes, §5.2 end).
+func (s *solver) solveRootCycle(b *decomp.Block) uint64 {
+	partial := make([]uint64, s.cl.P())
+	for _, sp := range s.splits(b) {
+		plus := s.buildPath(sp.plus)
+		minus := s.buildPath(sp.minus)
+		s.joinSplit(b, sp, plus, minus, nil, partial)
+	}
+	var total uint64
+	for _, p := range partial {
+		total += p
+	}
+	return total
+}
+
+// solveLeaf computes the unary projection table of a leaf-edge block
+// (a,b): a single-edge walk from the leaf node to the boundary node,
+// folding in both node annotations, then projected onto π(a) (§5.2).
+func (s *solver) solveLeaf(b *decomp.Block) *engine.Sharded {
+	boundary, leaf := b.Nodes[0], b.Nodes[1]
+	spec := pathSpec{
+		start:    leaf,
+		startAnn: b.NodeAnn[1],
+		steps: []pathStep{{
+			node:    boundary,
+			edgeAnn: b.EdgeAnn[0],
+			nodeAnn: b.NodeAnn[0],
+		}},
+	}
+	if spec.steps[0].edgeAnn != nil {
+		spec.steps[0].edgeFromFirst = spec.steps[0].edgeAnn.Boundary[0] == leaf
+	}
+	walk := s.buildPath(spec)
+	// Project (π(leaf), π(a), α) ↦ (π(a), α): local, entries live at owner(V).
+	out := engine.NewSharded(s.cl)
+	s.cl.Run(func(w int) {
+		sh := out.Shard(w)
+		var load int64
+		walk.Shard(w).Iter(func(k table.Key, c uint64) bool {
+			load++
+			sh.Add(table.Unary(k.V, k.S), c)
+			return true
+		})
+		s.cl.AddLoad(w, load)
+	})
+	return s.track(out)
+}
+
+// splits enumerates the algorithm's cycle splits with fully built path
+// specs: one for PS, L for DB.
+func (s *solver) splits(b *decomp.Block) []split {
+	l := b.Len()
+	pos := make(map[int]int, l) // query node id → cycle position
+	for i, n := range b.Nodes {
+		pos[n] = i
+	}
+	if s.alg == PS || s.alg == PSEven {
+		// PS splits at the boundary nodes (§5.1); with fewer than two
+		// boundary nodes, at the first boundary (or position 0) and its
+		// diagonal. PSEven always splits evenly, letting boundary nodes
+		// fall inside the walks (their mappings get recorded), which evens
+		// the walk lengths but keeps the unpruned search.
+		start := 0
+		if len(b.Boundary) > 0 {
+			start = pos[b.Boundary[0]]
+		}
+		end := (start + l/2) % l
+		if s.alg == PS && len(b.Boundary) == 2 {
+			end = pos[b.Boundary[1]]
+		}
+		return []split{s.makeSplit(b, start, end, false)}
+	}
+	// DB: every position is a candidate highest node (Equation 1).
+	splits := make([]split, 0, l)
+	for h := 0; h < l; h++ {
+		splits = append(splits, s.makeSplit(b, h, (h+l/2)%l, true))
+	}
+	return splits
+}
+
+// makeSplit constructs the P+ (clockwise) and P− (counter-clockwise) path
+// specs for splitting cycle b at positions (start, end), and resolves where
+// each boundary node's mapping will be found. Boundary nodes that fall
+// strictly inside a walk are recorded in its X then Y key fields, in walk
+// order — this uniformly realizes the six §5.1 configurations.
+func (s *solver) makeSplit(b *decomp.Block, start, end int, ordered bool) split {
+	l := b.Len()
+	isBoundary := make(map[int]bool, len(b.Boundary))
+	for _, n := range b.Boundary {
+		isBoundary[n] = true
+	}
+	locs := make([]bndLoc, len(b.Boundary))
+	locOf := func(node int, loc bndLoc) {
+		for i, n := range b.Boundary {
+			if n == node {
+				locs[i] = loc
+			}
+		}
+	}
+	locOf(b.Nodes[start], locStart)
+	locOf(b.Nodes[end], locEnd)
+
+	buildWalk := func(dir int, isPlus bool) pathSpec {
+		spec := pathSpec{start: b.Nodes[start], ordered: ordered}
+		if !isPlus {
+			spec.startAnn = b.NodeAnn[start] // P− owns the start annotation
+		}
+		nextRecord := 1
+		for p := start; p != end; {
+			np := ((p+dir)%l + l) % l
+			st := pathStep{node: b.Nodes[np]}
+			// Cycle edge between positions p and np: EdgeAnn[i] annotates
+			// (Nodes[i], Nodes[i+1]); going clockwise that's index p, going
+			// counter-clockwise it's index np.
+			if dir == 1 {
+				st.edgeAnn = b.EdgeAnn[p]
+			} else {
+				st.edgeAnn = b.EdgeAnn[np]
+			}
+			if st.edgeAnn != nil {
+				st.edgeFromFirst = st.edgeAnn.Boundary[0] == b.Nodes[p]
+			}
+			if np != end {
+				st.nodeAnn = b.NodeAnn[np]
+				if isBoundary[b.Nodes[np]] {
+					st.record = nextRecord
+					nextRecord++
+					if isPlus {
+						locOf(b.Nodes[np], []bndLoc{locPlusX, locPlusY}[st.record-1])
+					} else {
+						locOf(b.Nodes[np], []bndLoc{locMinusX, locMinusY}[st.record-1])
+					}
+				}
+			} else if isPlus {
+				st.nodeAnn = b.NodeAnn[end] // P+ owns the end annotation
+			}
+			spec.steps = append(spec.steps, st)
+			p = np
+		}
+		return spec
+	}
+	return split{
+		plus:  buildWalk(+1, true),
+		minus: buildWalk(-1, false),
+		locs:  locs,
+	}
+}
+
+// joinSplit joins the P+ and P− tables of one split (Figure 4/6
+// Procedure 2): entries agree on (U,V), signatures must intersect exactly
+// in {χ(U), χ(V)}, and products are emitted keyed by the block's boundary
+// mappings — into out for 1/2-boundary blocks, or summed into partial for
+// a root cycle. Both tables are homed at the owner of V, so the join
+// itself is local; only the output entries travel.
+func (s *solver) joinSplit(b *decomp.Block, sp split, plus, minus *engine.Sharded, out *engine.Sharded, partial []uint64) {
+	type mEntry struct {
+		k table.Key
+		c uint64
+	}
+	s.cl.Exchange(func(w int, emit func(int, engine.Msg)) {
+		idx := make(map[uint64][]mEntry)
+		minus.Shard(w).Iter(func(k table.Key, c uint64) bool {
+			uv := uint64(k.U)<<32 | uint64(k.V)
+			idx[uv] = append(idx[uv], mEntry{k: k, c: c})
+			return true
+		})
+		var load int64
+		var sum uint64
+		plus.Shard(w).Iter(func(kp table.Key, cp uint64) bool {
+			need := s.colorOf(kp.U).Union(s.colorOf(kp.V))
+			for _, e := range idx[uint64(kp.U)<<32|uint64(kp.V)] {
+				load++
+				if kp.S.Inter(e.k.S) != need {
+					continue
+				}
+				total := cp * e.c
+				comb := kp.S.Union(e.k.S)
+				switch len(b.Boundary) {
+				case 0:
+					sum += total
+				case 1:
+					va := vertexAt(sp.locs[0], kp, e.k)
+					emit(s.cl.Owner(va), engine.Msg{K: table.Unary(va, comb), C: total})
+				case 2:
+					va := vertexAt(sp.locs[0], kp, e.k)
+					vb := vertexAt(sp.locs[1], kp, e.k)
+					emit(s.cl.Owner(vb), engine.Msg{K: table.Binary(va, vb, comb), C: total})
+				}
+			}
+			return true
+		})
+		s.cl.AddLoad(w, load)
+		if partial != nil {
+			partial[w] += sum
+		}
+	}, func(w int, msgs []engine.Msg) {
+		if out != nil {
+			out.Accumulate(w, msgs)
+		}
+	})
+}
+
+// vertexAt extracts a boundary node's mapped vertex from the joined pair of
+// keys according to its resolved location.
+func vertexAt(loc bndLoc, plus, minus table.Key) uint32 {
+	switch loc {
+	case locStart:
+		return plus.U
+	case locEnd:
+		return plus.V
+	case locPlusX:
+		return plus.X
+	case locPlusY:
+		return plus.Y
+	case locMinusX:
+		return minus.X
+	case locMinusY:
+		return minus.Y
+	}
+	panic(fmt.Sprintf("core: invalid boundary location %d", loc))
+}

@@ -1,0 +1,267 @@
+package core
+
+import (
+	"repro/internal/decomp"
+	"repro/internal/engine"
+	"repro/internal/sig"
+	"repro/internal/table"
+)
+
+// This file implements the unified path builder shared by the PS and DB
+// cycle solvers and by leaf-edge blocks. A path is a directed walk along
+// cycle positions from a start node to an end node; its projection table is
+// built by an init step followed by alternating EdgeJoin and NodeJoin
+// operations (§5.2 Figure 7). Keys are (U=π(start), V=π(current end)) with
+// optional recorded boundary mappings in X/Y (the §5.1 configurations), and
+// entries live at the owner of V, as in the paper's engine (§7).
+
+// pathStep extends the walk by one cycle node.
+type pathStep struct {
+	node          int           // query node id being added
+	edgeAnn       *decomp.Block // child block annotating the traversed edge; nil = data-graph edge
+	edgeFromFirst bool          // traversal enters the child at Boundary[0]
+	nodeAnn       *decomp.Block // unary child annotating the added node; nil = none
+	record        int           // 0 = none, 1 = record mapped vertex in X, 2 = in Y
+}
+
+// pathSpec describes a whole walk.
+type pathSpec struct {
+	start    int           // query node id of the walk's first node
+	startAnn *decomp.Block // unary child annotating the start node (P− convention)
+	steps    []pathStep
+	ordered  bool // DB: every added cycle vertex must rank below π(start)
+}
+
+// buildPath materializes the walk's projection table.
+func (s *solver) buildPath(spec pathSpec) *engine.Sharded {
+	var cur *engine.Sharded
+	rest := spec.steps
+	if spec.startAnn != nil {
+		cur = s.lift(s.tables[spec.startAnn])
+	} else {
+		cur = s.initEdge(spec, spec.steps[0])
+		if spec.steps[0].nodeAnn != nil {
+			cur = s.nodeJoin(cur, spec.steps[0].nodeAnn)
+		}
+		rest = spec.steps[1:]
+	}
+	for _, st := range rest {
+		cur = s.edgeJoin(cur, spec, st)
+		if st.nodeAnn != nil {
+			cur = s.nodeJoin(cur, st.nodeAnn)
+		}
+	}
+	return cur
+}
+
+func applyRecord(k *table.Key, record int, v uint32) {
+	switch record {
+	case 1:
+		k.X = v
+	case 2:
+		k.Y = v
+	}
+}
+
+// initEdge seeds the walk's table from its first edge: either the data
+// graph's edges (count 1 per edge per direction, signature {χ(u),χ(v)},
+// Figure 4/6 Procedure 1 line 1) or the annotating child block's table.
+func (s *solver) initEdge(spec pathSpec, st pathStep) *engine.Sharded {
+	out := engine.NewSharded(s.cl)
+	if st.edgeAnn == nil {
+		s.cl.Exchange(func(w int, emit func(int, engine.Msg)) {
+			lo, hi := s.cl.Range(w)
+			var load int64
+			for u := lo; u < hi; u++ {
+				cu := s.colors[u]
+				for _, v := range s.g.Neighbors(u) {
+					load++
+					if spec.ordered && !s.g.Higher(u, v) {
+						continue
+					}
+					if s.colors[v] == cu {
+						continue
+					}
+					k := table.Binary(u, v, sig.Of(cu).Add(s.colors[v]))
+					applyRecord(&k, st.record, v)
+					emit(s.cl.Owner(v), engine.Msg{K: k, C: 1})
+				}
+			}
+			s.cl.AddLoad(w, load)
+		}, out.Accumulate)
+		return s.track(out)
+	}
+	child := s.tables[st.edgeAnn]
+	s.cl.Exchange(func(w int, emit func(int, engine.Msg)) {
+		var load int64
+		child.Shard(w).Iter(func(k table.Key, c uint64) bool {
+			load++
+			from, to := k.U, k.V
+			if !st.edgeFromFirst {
+				from, to = to, from
+			}
+			if spec.ordered && !s.g.Higher(from, to) {
+				return true
+			}
+			nk := table.Binary(from, to, k.S)
+			applyRecord(&nk, st.record, to)
+			emit(s.cl.Owner(to), engine.Msg{K: nk, C: c})
+			return true
+		})
+		s.cl.AddLoad(w, load)
+	}, out.Accumulate)
+	return s.track(out)
+}
+
+// lift turns a unary child table (u,α) into the degenerate walk table
+// (u,u,α), seeding a path that includes the start node's annotation.
+func (s *solver) lift(child *engine.Sharded) *engine.Sharded {
+	out := engine.NewSharded(s.cl)
+	s.cl.Run(func(w int) {
+		sh := out.Shard(w)
+		child.Shard(w).Iter(func(k table.Key, c uint64) bool {
+			sh.Add(table.Binary(k.U, k.U, k.S), c)
+			return true
+		})
+	})
+	return s.track(out)
+}
+
+// edgeJoin extends every walk entry (u,v,…,α) across the step's edge: for a
+// data-graph edge, by each neighbor w of v with an unused color (Figure 4/6
+// Procedure 1); for an annotated edge, by each child entry incident to v
+// whose signature meets α exactly at χ(v) (Figure 7 EdgeJoin). Under the DB
+// order constraint, only vertices ranking below u extend the walk.
+func (s *solver) edgeJoin(cur *engine.Sharded, spec pathSpec, st pathStep) *engine.Sharded {
+	out := engine.NewSharded(s.cl)
+	if st.edgeAnn == nil {
+		s.cl.Exchange(func(w int, emit func(int, engine.Msg)) {
+			var load int64
+			cur.Shard(w).Iter(func(k table.Key, c uint64) bool {
+				for _, nb := range s.g.Neighbors(k.V) {
+					load++
+					if spec.ordered && !s.g.Higher(k.U, nb) {
+						continue
+					}
+					cn := s.colorOf(nb)
+					if !k.S.Disjoint(cn) {
+						continue
+					}
+					nk := table.Key{U: k.U, V: nb, X: k.X, Y: k.Y, S: k.S.Union(cn)}
+					applyRecord(&nk, st.record, nb)
+					emit(s.cl.Owner(nb), engine.Msg{K: nk, C: c})
+				}
+				return true
+			})
+			s.cl.AddLoad(w, load)
+		}, out.Accumulate)
+		return s.track(out)
+	}
+	grouped := s.groupBinary(st.edgeAnn, st.edgeFromFirst)
+	s.cl.Exchange(func(w int, emit func(int, engine.Msg)) {
+		var load int64
+		idx := grouped[w]
+		cur.Shard(w).Iter(func(k table.Key, c uint64) bool {
+			for _, e := range idx[k.V] {
+				load++
+				if spec.ordered && !s.g.Higher(k.U, e.to) {
+					continue
+				}
+				// The walk and the child share exactly the query node at v.
+				if k.S.Inter(e.s) != s.colorOf(k.V) {
+					continue
+				}
+				nk := table.Key{U: k.U, V: e.to, X: k.X, Y: k.Y, S: k.S.Union(e.s)}
+				applyRecord(&nk, st.record, e.to)
+				emit(s.cl.Owner(e.to), engine.Msg{K: nk, C: c * e.c})
+			}
+			return true
+		})
+		s.cl.AddLoad(w, load)
+	}, out.Accumulate)
+	return s.track(out)
+}
+
+// nodeJoin folds a unary child table into the walk at its current end node
+// (Figure 7 NodeJoin). Both tables are homed at the owner of v, so the join
+// is communication-free.
+func (s *solver) nodeJoin(cur *engine.Sharded, ann *decomp.Block) *engine.Sharded {
+	out := engine.NewSharded(s.cl)
+	child := s.tables[ann]
+	s.cl.Run(func(w int) {
+		idx := make(map[uint32][]sigCount)
+		child.Shard(w).Iter(func(k table.Key, c uint64) bool {
+			idx[k.U] = append(idx[k.U], sigCount{s: k.S, c: c})
+			return true
+		})
+		var load int64
+		sh := out.Shard(w)
+		cur.Shard(w).Iter(func(k table.Key, c uint64) bool {
+			for _, e := range idx[k.V] {
+				load++
+				if k.S.Inter(e.s) != s.colorOf(k.V) {
+					continue
+				}
+				sh.Add(table.Key{U: k.U, V: k.V, X: k.X, Y: k.Y, S: k.S.Union(e.s)}, c*e.c)
+			}
+			return true
+		})
+		s.cl.AddLoad(w, load)
+	})
+	return s.track(out)
+}
+
+type sigCount struct {
+	s sig.Sig
+	c uint64
+}
+
+type toEntry struct {
+	to uint32
+	s  sig.Sig
+	c  uint64
+}
+
+type groupKey struct {
+	block     *decomp.Block
+	fromFirst bool
+}
+
+// groupBinary redistributes a child block's binary table so every entry is
+// indexed, at the owner of its "from" endpoint, by that endpoint — the
+// paper's "communication to bring the two entries to a common processor"
+// (§7). Results are cached per (block, orientation): the DB solver reuses
+// them across its L splits.
+func (s *solver) groupBinary(b *decomp.Block, fromFirst bool) []map[uint32][]toEntry {
+	key := groupKey{block: b, fromFirst: fromFirst}
+	if g, ok := s.grouped[key]; ok {
+		return g
+	}
+	child := s.tables[b]
+	g := make([]map[uint32][]toEntry, s.cl.P())
+	for i := range g {
+		g[i] = make(map[uint32][]toEntry)
+	}
+	s.cl.Exchange(func(w int, emit func(int, engine.Msg)) {
+		child.Shard(w).Iter(func(k table.Key, c uint64) bool {
+			from, to := k.U, k.V
+			if !fromFirst {
+				from, to = to, from
+			}
+			emit(s.cl.Owner(from), engine.Msg{K: table.Binary(from, to, k.S), C: c})
+			return true
+		})
+	}, func(w int, msgs []engine.Msg) {
+		for _, m := range msgs {
+			g[w][m.K.U] = append(g[w][m.K.U], toEntry{to: m.K.V, s: m.K.S, c: m.C})
+		}
+	})
+	s.grouped[key] = g
+	return g
+}
+
+// dropGroups releases cached groupings of a finished block.
+func (s *solver) dropGroups(b *decomp.Block) {
+	delete(s.grouped, groupKey{block: b, fromFirst: true})
+	delete(s.grouped, groupKey{block: b, fromFirst: false})
+}

@@ -1,0 +1,133 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/decomp"
+	"repro/internal/engine"
+	"repro/internal/graph"
+	"repro/internal/query"
+	"repro/internal/table"
+)
+
+// Per-vertex counting: instead of the single colorful-match total, report
+// for every data vertex v the number of colorful matches that map a chosen
+// query node (the anchor) to v. This is the per-vertex motif count used by
+// the biological applications the paper builds on (Alon et al., FASCIA).
+// It falls out of the same machinery: the root block is solved as if the
+// anchor were a boundary node, yielding a unary projection table instead of
+// a scalar.
+
+// CountColorfulPerVertex counts colorful matches of q in g grouped by the
+// data vertex that the anchor query node maps to. anchor must be a node of
+// the plan's root block (the natural grouping nodes for the chosen plan);
+// pass anchor = -1 to let the solver pick one. It returns the per-vertex
+// counts, the anchor actually used, and the engine stats.
+func CountColorfulPerVertex(g *graph.Graph, q *query.Graph, colors []uint8, anchor int, opts Options) ([]uint64, int, Stats, error) {
+	plan := opts.Plan
+	if plan == nil {
+		var err error
+		plan, err = PickPlan(q)
+		if err != nil {
+			return nil, 0, Stats{}, err
+		}
+	}
+	if err := validate(g, q, colors, plan); err != nil {
+		return nil, 0, Stats{}, err
+	}
+	root := plan.Root
+	if anchor < 0 {
+		anchor = root.Nodes[0]
+	}
+	if !contains(root.Nodes, anchor) {
+		return nil, 0, Stats{}, fmt.Errorf(
+			"core: anchor %d is not in the plan's root block %v; pass a plan whose root contains it", anchor, root.Nodes)
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = 4
+	}
+	s := &solver{
+		g:       g,
+		colors:  colors,
+		cl:      engine.NewCluster(workers, g.N()),
+		alg:     opts.Algorithm,
+		tables:  make(map[*decomp.Block]*engine.Sharded),
+		grouped: make(map[groupKey][]map[uint32][]toEntry),
+	}
+	per := s.runPerVertex(plan, anchor)
+	max, avg, total := s.cl.LoadStats()
+	return per, anchor, Stats{
+		Workers:      s.cl.P(),
+		MaxLoad:      max,
+		AvgLoad:      avg,
+		TotalLoad:    total,
+		Messages:     s.cl.Messages(),
+		TableEntries: s.entries,
+		Loads:        s.cl.Loads(),
+	}, nil
+}
+
+func contains(xs []int, v int) bool {
+	for _, x := range xs {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+// runPerVertex is solver.run with the root block solved into a unary table
+// keyed by the anchor's mapping.
+func (s *solver) runPerVertex(plan *decomp.Tree, anchor int) []uint64 {
+	per := make([]uint64, s.g.N())
+	for _, b := range plan.Blocks {
+		if b != plan.Root {
+			switch b.Kind {
+			case decomp.LeafEdge:
+				s.tables[b] = s.solveLeaf(b)
+			case decomp.CycleBlock:
+				s.tables[b] = s.solveCycle(b)
+			}
+			for _, c := range b.Children {
+				delete(s.tables, c)
+				s.dropGroups(c)
+			}
+			continue
+		}
+		var unary *engine.Sharded
+		switch b.Kind {
+		case decomp.SingletonRoot:
+			if len(b.Children) == 0 {
+				// 1-node query: one match per vertex.
+				for v := range per {
+					per[v] = 1
+				}
+				return per
+			}
+			unary = s.tables[b.Children[0]]
+		case decomp.CycleBlock:
+			// Solve the root cycle as if the anchor were its boundary:
+			// identical joins, but mappings of the anchor are carried to
+			// the output (§5.2's one-boundary case).
+			anchored := &decomp.Block{
+				Kind:     b.Kind,
+				Nodes:    b.Nodes,
+				Boundary: []int{anchor},
+				NodeAnn:  b.NodeAnn,
+				EdgeAnn:  b.EdgeAnn,
+				Children: b.Children,
+			}
+			unary = s.solveCycle(anchored)
+		case decomp.LeafEdge:
+			// A root is never a leaf edge (contraction always leaves a
+			// singleton after the last leaf).
+			panic("core: leaf-edge root block")
+		}
+		unary.Iter(func(k table.Key, c uint64) bool {
+			per[k.U] += c
+			return true
+		})
+	}
+	return per
+}

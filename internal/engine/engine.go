@@ -1,0 +1,227 @@
+// Package engine simulates the paper's distributed runtime (§7) in shared
+// memory: P workers (goroutines) stand in for MPI ranks, vertices are
+// block-distributed (1D decomposition), projection tables are sharded by
+// vertex owner, and every solver phase is a superstep — workers scan their
+// shards, emit keyed messages to destination owners, barrier, and owners
+// merge. Per-worker load counters reproduce the paper's "projection
+// function operations" metric (Figure 11), and message counters expose
+// communication volume.
+package engine
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/table"
+)
+
+// Cluster is a fixed set of P workers owning an n-vertex space in
+// contiguous blocks.
+type Cluster struct {
+	p     int
+	n     int
+	chunk int
+	loads []atomic.Int64
+	msgs  atomic.Int64
+}
+
+// NewCluster returns a cluster of p workers over n vertices. p is clamped
+// to at least 1.
+func NewCluster(p, n int) *Cluster {
+	if p < 1 {
+		p = 1
+	}
+	chunk := (n + p - 1) / p
+	if chunk < 1 {
+		chunk = 1
+	}
+	return &Cluster{p: p, n: n, chunk: chunk, loads: make([]atomic.Int64, p)}
+}
+
+// P returns the worker count.
+func (c *Cluster) P() int { return c.p }
+
+// N returns the vertex-space size.
+func (c *Cluster) N() int { return c.n }
+
+// Owner returns the worker owning vertex v (1D block distribution).
+func (c *Cluster) Owner(v uint32) int {
+	w := int(v) / c.chunk
+	if w >= c.p {
+		w = c.p - 1
+	}
+	return w
+}
+
+// Range returns the half-open vertex interval [lo, hi) owned by worker w.
+func (c *Cluster) Range(w int) (lo, hi uint32) {
+	l := w * c.chunk
+	h := l + c.chunk
+	if w == c.p-1 || h > c.n {
+		h = c.n
+	}
+	if l > c.n {
+		l = c.n
+	}
+	return uint32(l), uint32(h)
+}
+
+// Run executes f(w) for every worker w on its own goroutine and waits.
+func (c *Cluster) Run(f func(w int)) {
+	var wg sync.WaitGroup
+	wg.Add(c.p)
+	for w := 0; w < c.p; w++ {
+		go func(w int) {
+			defer wg.Done()
+			f(w)
+		}(w)
+	}
+	wg.Wait()
+}
+
+// AddLoad charges d projection-function operations to worker w.
+func (c *Cluster) AddLoad(w int, d int64) { c.loads[w].Add(d) }
+
+// Loads returns a snapshot of the per-worker load counters.
+func (c *Cluster) Loads() []int64 {
+	out := make([]int64, c.p)
+	for i := range out {
+		out[i] = c.loads[i].Load()
+	}
+	return out
+}
+
+// LoadStats returns (max, avg, total) over the per-worker loads.
+func (c *Cluster) LoadStats() (max int64, avg float64, total int64) {
+	for i := 0; i < c.p; i++ {
+		l := c.loads[i].Load()
+		total += l
+		if l > max {
+			max = l
+		}
+	}
+	return max, float64(total) / float64(c.p), total
+}
+
+// Messages returns the number of messages exchanged so far.
+func (c *Cluster) Messages() int64 { return c.msgs.Load() }
+
+// ResetCounters clears load and message counters.
+func (c *Cluster) ResetCounters() {
+	for i := range c.loads {
+		c.loads[i].Store(0)
+	}
+	c.msgs.Store(0)
+}
+
+// Msg is one keyed count in flight between workers.
+type Msg struct {
+	K table.Key
+	C uint64
+}
+
+// Exchange runs one superstep: produce runs on every worker and emits
+// messages addressed to destination workers; after a barrier, consume runs
+// on every worker with the concatenation of messages addressed to it (in
+// source-worker order, so the step is deterministic). produce's emit
+// closure is only valid during the call and only from that worker's
+// goroutine.
+func (c *Cluster) Exchange(
+	produce func(w int, emit func(dst int, m Msg)),
+	consume func(w int, msgs []Msg),
+) {
+	out := make([][][]Msg, c.p)
+	c.Run(func(w int) {
+		bufs := make([][]Msg, c.p)
+		produce(w, func(dst int, m Msg) {
+			bufs[dst] = append(bufs[dst], m)
+		})
+		out[w] = bufs
+	})
+	var sent int64
+	for _, bufs := range out {
+		for _, b := range bufs {
+			sent += int64(len(b))
+		}
+	}
+	c.msgs.Add(sent)
+	c.Run(func(w int) {
+		for src := 0; src < c.p; src++ {
+			if msgs := out[src][w]; len(msgs) > 0 {
+				consume(w, msgs)
+			}
+		}
+	})
+}
+
+// Sharded is a projection table distributed over the cluster: one
+// open-addressing shard per worker. The solver routes each entry to the
+// shard of the owner of its home vertex (the paper stores (u,v,α) at the
+// owner of v).
+type Sharded struct {
+	c      *Cluster
+	shards []*table.T
+}
+
+// NewSharded returns an empty sharded table on c.
+func NewSharded(c *Cluster) *Sharded {
+	s := &Sharded{c: c, shards: make([]*table.T, c.p)}
+	for i := range s.shards {
+		s.shards[i] = table.New(16)
+	}
+	return s
+}
+
+// Cluster returns the owning cluster.
+func (s *Sharded) Cluster() *Cluster { return s.c }
+
+// Shard returns worker w's shard.
+func (s *Sharded) Shard(w int) *table.T { return s.shards[w] }
+
+// Add accumulates directly into worker w's shard (only from w's goroutine,
+// or sequentially).
+func (s *Sharded) Add(w int, k table.Key, cnt uint64) { s.shards[w].Add(k, cnt) }
+
+// Len returns the total number of distinct entries.
+func (s *Sharded) Len() int {
+	n := 0
+	for _, sh := range s.shards {
+		n += sh.Len()
+	}
+	return n
+}
+
+// Total returns the sum of all counts across shards.
+func (s *Sharded) Total() uint64 {
+	var t uint64
+	for _, sh := range s.shards {
+		t += sh.Total()
+	}
+	return t
+}
+
+// Iter visits every entry across shards (sequentially; unspecified order).
+func (s *Sharded) Iter(f func(table.Key, uint64) bool) {
+	for _, sh := range s.shards {
+		stop := false
+		sh.Iter(func(k table.Key, c uint64) bool {
+			if !f(k, c) {
+				stop = true
+				return false
+			}
+			return true
+		})
+		if stop {
+			return
+		}
+	}
+}
+
+// Accumulate is a ready-made consume phase that merges messages into the
+// destination shard.
+func (s *Sharded) Accumulate(w int, msgs []Msg) {
+	sh := s.shards[w]
+	for _, m := range msgs {
+		sh.Add(m.K, m.C)
+	}
+}

@@ -1,0 +1,221 @@
+// Package exact counts query occurrences by explicit backtracking search.
+// It is the ground-truth oracle for testing the color-coding solvers: it
+// counts matches (injective edge-preserving mappings, §2) and colorful
+// matches under a fixed coloring. Exponential in query size; use only on
+// small inputs.
+package exact
+
+import (
+	"repro/internal/graph"
+	"repro/internal/query"
+	"repro/internal/sig"
+)
+
+// Matches returns n(G,Q): the number of injective mappings π from the query
+// nodes to data vertices such that every query edge maps to a data edge.
+func Matches(g *graph.Graph, q *query.Graph) uint64 {
+	return run(g, q, nil)
+}
+
+// ColorfulMatches returns the number of matches whose mapped vertices all
+// have distinct colors under the given coloring (one color per data vertex).
+func ColorfulMatches(g *graph.Graph, q *query.Graph, colors []uint8) uint64 {
+	return run(g, q, colors)
+}
+
+// ColorfulMatchesPerVertex returns, for every data vertex v, the number of
+// colorful matches that map query node anchor to v. Summing over v gives
+// ColorfulMatches.
+func ColorfulMatchesPerVertex(g *graph.Graph, q *query.Graph, colors []uint8, anchor int) []uint64 {
+	per := make([]uint64, g.N())
+	// Reuse the anchored counter: for each vertex, count matches with the
+	// anchor pinned. Queries and oracle graphs are small, so the simple
+	// "restrict the first placement" approach is fine: we reorder the
+	// search so the anchor is placed first.
+	if q.K == 0 {
+		return per
+	}
+	order, anchorIdx := anchoredOrder(q, anchor)
+	for v := 0; v < g.N(); v++ {
+		e := &enumerator{
+			g:      g,
+			q:      q,
+			colors: colors,
+			order:  order,
+			anchor: anchorIdx,
+			pos:    make([]uint32, q.K),
+			used:   make(map[uint32]bool, q.K),
+		}
+		e.place(0, uint32(v))
+		per[v] = e.count
+	}
+	return per
+}
+
+// anchoredOrder is searchOrder but guaranteed to start at the given query
+// node.
+func anchoredOrder(q *query.Graph, anchor int) (order []int, anchorIdx []int) {
+	placed := make([]bool, q.K)
+	idx := make([]int, q.K)
+	place := func(n, from int) {
+		placed[n] = true
+		idx[n] = len(order)
+		order = append(order, n)
+		if from < 0 {
+			anchorIdx = append(anchorIdx, -1)
+		} else {
+			anchorIdx = append(anchorIdx, idx[from])
+		}
+	}
+	place(anchor, -1)
+	frontier := []int{anchor}
+	for len(frontier) > 0 {
+		a := frontier[0]
+		frontier = frontier[1:]
+		for _, b := range q.Neighbors(a) {
+			if !placed[b] {
+				place(b, a)
+				frontier = append(frontier, b)
+			}
+		}
+	}
+	for n := 0; n < q.K; n++ { // disconnected queries: remaining roots
+		if !placed[n] {
+			place(n, -1)
+			frontier = append(frontier, n)
+			for len(frontier) > 0 {
+				a := frontier[0]
+				frontier = frontier[1:]
+				for _, b := range q.Neighbors(a) {
+					if !placed[b] {
+						place(b, a)
+						frontier = append(frontier, b)
+					}
+				}
+			}
+		}
+	}
+	return order, anchorIdx
+}
+
+// run performs the backtracking count. Query nodes are processed in a
+// connectivity-first order so each placement after the first is constrained
+// to the neighborhood of an already-placed node.
+func run(g *graph.Graph, q *query.Graph, colors []uint8) uint64 {
+	if q.K == 0 {
+		return 1
+	}
+	order, anchor := searchOrder(q)
+	e := &enumerator{
+		g:      g,
+		q:      q,
+		colors: colors,
+		order:  order,
+		anchor: anchor,
+		pos:    make([]uint32, q.K),
+		used:   make(map[uint32]bool, q.K),
+	}
+	for v := 0; v < g.N(); v++ {
+		e.place(0, uint32(v))
+	}
+	return e.count
+}
+
+type enumerator struct {
+	g      *graph.Graph
+	q      *query.Graph
+	colors []uint8
+	order  []int // query nodes in placement order
+	anchor []int // anchor[i] = index j < i with order[j] adjacent to order[i]; -1 for roots
+	pos    []uint32
+	used   map[uint32]bool
+	usedC  sig.Sig
+	count  uint64
+}
+
+// place tries to map query node order[i] to data vertex v and recurses.
+func (e *enumerator) place(i int, v uint32) {
+	if e.used[v] {
+		return
+	}
+	var c uint8
+	if e.colors != nil {
+		c = e.colors[v]
+		if e.usedC.Has(c) {
+			return
+		}
+	}
+	a := e.order[i]
+	// All already-placed neighbors of a must be adjacent to v.
+	for _, b := range e.q.Neighbors(a) {
+		if j := e.placedIndex(b, i); j >= 0 && !e.g.HasEdge(v, e.pos[j]) {
+			return
+		}
+	}
+	if i == e.q.K-1 {
+		e.count++
+		return
+	}
+	e.pos[i] = v
+	e.used[v] = true
+	if e.colors != nil {
+		e.usedC = e.usedC.Add(c)
+	}
+	next := i + 1
+	if e.anchor[next] >= 0 {
+		// Extend from the anchor's mapped vertex: only its neighbors qualify.
+		for _, w := range e.g.Neighbors(e.pos[e.anchor[next]]) {
+			e.place(next, w)
+		}
+	} else {
+		for w := 0; w < e.g.N(); w++ {
+			e.place(next, uint32(w))
+		}
+	}
+	e.used[v] = false
+	if e.colors != nil {
+		e.usedC = e.usedC.Without(sig.Of(c))
+	}
+}
+
+// placedIndex returns the placement index of query node b if it was placed
+// before step i, else -1.
+func (e *enumerator) placedIndex(b, i int) int {
+	for j := 0; j < i; j++ {
+		if e.order[j] == b {
+			return j
+		}
+	}
+	return -1
+}
+
+// searchOrder returns a query-node order where each node after a component
+// root has at least one earlier neighbor, plus the index of that neighbor.
+func searchOrder(q *query.Graph) (order []int, anchor []int) {
+	placed := make([]bool, q.K)
+	idx := make([]int, q.K)
+	for start := 0; start < q.K; start++ {
+		if placed[start] {
+			continue
+		}
+		placed[start] = true
+		idx[start] = len(order)
+		order = append(order, start)
+		anchor = append(anchor, -1)
+		frontier := []int{start}
+		for len(frontier) > 0 {
+			a := frontier[0]
+			frontier = frontier[1:]
+			for _, b := range q.Neighbors(a) {
+				if !placed[b] {
+					placed[b] = true
+					idx[b] = len(order)
+					order = append(order, b)
+					anchor = append(anchor, idx[a])
+					frontier = append(frontier, b)
+				}
+			}
+		}
+	}
+	return order, anchor
+}

@@ -1,0 +1,91 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/decomp"
+)
+
+// This file regenerates Figure 14: the quality of the §6 plan-selection
+// heuristic against the optimal decomposition tree found by exhaustive
+// enumeration. Cost is measured with the deterministic load model (total
+// projection operations), so "optimal" is exact rather than noise-bound.
+
+// Figure14Cell is one graph-query combination's heuristic-vs-optimal gap.
+type Figure14Cell struct {
+	Graph, Query string
+	Plans        int
+	HeurLoad     int64
+	OptLoad      int64
+	ErrorPct     float64
+}
+
+// Figure14Result summarizes the plan-quality study.
+type Figure14Result struct {
+	Cells       []Figure14Cell
+	OptimalFrac float64 // fraction of combos where the heuristic was optimal
+	MaxErrorPct float64
+}
+
+// Figure14 runs DB with every decomposition tree of every query on every
+// graph, compares the heuristic plan's cost to the best plan's, and prints
+// the per-combo error percentages.
+func Figure14(w io.Writer, cfg Config) (Figure14Result, error) {
+	cfg = cfg.withDefaults()
+	var res Figure14Result
+	header(w, fmt.Sprintf("Figure 14: plan heuristic error vs optimal plan (%d ranks)", cfg.Workers))
+	fmt.Fprintf(w, "%-12s %-10s %6s %12s %12s %8s\n", "Graph", "Query", "plans", "heur load", "opt load", "err%")
+	for _, q := range cfg.queries() {
+		trees, err := decomp.Enumerate(q)
+		if err != nil {
+			return res, err
+		}
+		heur, err := core.PickPlan(q)
+		if err != nil {
+			return res, err
+		}
+		for _, g := range cfg.graphs() {
+			var heurLoad, optLoad int64 = -1, -1
+			for _, tr := range trees {
+				run, err := cfg.runOnce(g, q, core.DB, cfg.Workers, tr)
+				if err != nil {
+					return res, err
+				}
+				if optLoad < 0 || run.Stats.TotalLoad < optLoad {
+					optLoad = run.Stats.TotalLoad
+				}
+				if tr.Encode() == heur.Encode() {
+					heurLoad = run.Stats.TotalLoad
+				}
+			}
+			if heurLoad < 0 {
+				return res, fmt.Errorf("exp: heuristic plan not among enumerated trees for %s", q.Name)
+			}
+			cell := Figure14Cell{
+				Graph: g.Name, Query: q.Name, Plans: len(trees),
+				HeurLoad: heurLoad, OptLoad: optLoad,
+				ErrorPct: 100 * ratio(float64(heurLoad-optLoad), float64(optLoad)),
+			}
+			res.Cells = append(res.Cells, cell)
+			fmt.Fprintf(w, "%-12s %-10s %6d %12d %12d %8.1f\n",
+				cell.Graph, cell.Query, cell.Plans, cell.HeurLoad, cell.OptLoad, cell.ErrorPct)
+		}
+	}
+	optimal := 0
+	for _, c := range res.Cells {
+		if c.ErrorPct <= 1e-9 {
+			optimal++
+		}
+		if c.ErrorPct > res.MaxErrorPct {
+			res.MaxErrorPct = c.ErrorPct
+		}
+	}
+	if len(res.Cells) > 0 {
+		res.OptimalFrac = float64(optimal) / float64(len(res.Cells))
+	}
+	fmt.Fprintf(w, "summary: heuristic optimal on %.0f%% of combos; max error %.1f%%\n",
+		100*res.OptimalFrac, res.MaxErrorPct)
+	return res, nil
+}

@@ -1,0 +1,237 @@
+// Package gen generates the synthetic data graphs used throughout the
+// evaluation: Erdős–Rényi and R-MAT graphs (the paper's weak-scaling study,
+// §8.4), Chung-Lu random graphs with truncated power-law expected degrees
+// (the §9 theory model), road-like grids, and calibrated stand-ins for the
+// paper's Table 1 SNAP/Open-Connectome graphs (see DESIGN.md for the
+// substitution argument).
+package gen
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// ErdosRenyi returns a graph on n vertices built from m uniformly random
+// edge attempts (self-loops and duplicates are dropped, so the final edge
+// count can be slightly below m).
+func ErdosRenyi(name string, n int, m int64, rng *rand.Rand) *graph.Graph {
+	b := graph.NewBuilder(name, n)
+	for i := int64(0); i < m; i++ {
+		b.AddEdge(uint32(rng.Intn(n)), uint32(rng.Intn(n)))
+	}
+	return b.Build()
+}
+
+// RMATParams are the quadrant probabilities of the recursive matrix model.
+type RMATParams struct{ A, B, C, D float64 }
+
+// Graph500 are the parameters the paper uses for weak scaling (§8.4):
+// A=0.5, B=0.1, C=0.1, D=0.3, edge factor 16.
+var Graph500 = RMATParams{A: 0.5, B: 0.1, C: 0.1, D: 0.3}
+
+// RMAT generates an R-MAT graph with 2^scale vertices and edgeFactor·2^scale
+// edge attempts.
+func RMAT(name string, scale int, edgeFactor int, p RMATParams, rng *rand.Rand) *graph.Graph {
+	n := 1 << uint(scale)
+	b := graph.NewBuilder(name, n)
+	m := int64(edgeFactor) * int64(n)
+	ab := p.A + p.B
+	abc := p.A + p.B + p.C
+	for i := int64(0); i < m; i++ {
+		var u, v int
+		for bit := 0; bit < scale; bit++ {
+			r := rng.Float64()
+			switch {
+			case r < p.A:
+				// upper-left: no bits set
+			case r < ab:
+				v |= 1 << uint(bit)
+			case r < abc:
+				u |= 1 << uint(bit)
+			default:
+				u |= 1 << uint(bit)
+				v |= 1 << uint(bit)
+			}
+		}
+		b.AddEdge(uint32(u), uint32(v))
+	}
+	return b.Build()
+}
+
+// PowerLawWeights returns an expected-degree sequence satisfying the
+// paper's truncated power law (§9.2): for each 0 ≤ j ≤ ½·log2 n, Θ(n/2^αj)
+// entries of weight 2^j, with the maximum weight capped at √n. The sequence
+// is normalized so the bucket counts sum to exactly n, and returned in
+// non-increasing order.
+func PowerLawWeights(n int, alpha float64) []float64 {
+	jmax := int(math.Log2(math.Sqrt(float64(n))))
+	raw := make([]float64, jmax+1)
+	var total float64
+	for j := 0; j <= jmax; j++ {
+		raw[j] = float64(n) / math.Pow(2, alpha*float64(j))
+		total += raw[j]
+	}
+	counts := make([]int, jmax+1)
+	assigned := 0
+	for j := jmax; j >= 1; j-- {
+		c := int(math.Round(raw[j] * float64(n) / total))
+		if c < 1 {
+			c = 1 // keep the tail populated as the law requires
+		}
+		counts[j] = c
+		assigned += c
+	}
+	counts[0] = n - assigned
+	if counts[0] < 0 {
+		counts[0] = 0
+	}
+	w := make([]float64, 0, n)
+	for j := jmax; j >= 0; j-- {
+		dw := math.Pow(2, float64(j))
+		for i := 0; i < counts[j] && len(w) < n; i++ {
+			w = append(w, dw)
+		}
+	}
+	for len(w) < n {
+		w = append(w, 1)
+	}
+	return w
+}
+
+// ScaleWeights rescales a weight sequence so its mean is targetMean.
+// Weights stay ≥ 1 as the §9 model assumes. Entries may exceed √S; the
+// Chung-Lu sampler clamps per-pair probabilities at 1 in that regime.
+func ScaleWeights(w []float64, targetMean float64) []float64 {
+	var sum float64
+	for _, x := range w {
+		sum += x
+	}
+	mean := sum / float64(len(w))
+	out := make([]float64, len(w))
+	for i, x := range w {
+		out[i] = math.Max(1, x*targetMean/mean)
+	}
+	return out
+}
+
+// AddHubs raises the top of a non-increasing weight sequence so the maximum
+// expected degree is hubMax, interpolating geometrically from hubMax down to
+// the existing body maximum over nHubs entries. Real graphs in the paper's
+// Table 1 have maximum degrees far above the √n cap of the §9 theoretical
+// model; this reintroduces that skew for the stand-ins.
+func AddHubs(w []float64, hubMax float64, nHubs int) []float64 {
+	if nHubs < 1 {
+		nHubs = 1
+	}
+	if nHubs > len(w) {
+		nHubs = len(w)
+	}
+	out := make([]float64, len(w))
+	copy(out, w)
+	body := w[0]
+	if hubMax <= body {
+		return out
+	}
+	// Geometric interpolation: hub i gets hubMax·r^i with r chosen so the
+	// last hub lands at the body maximum.
+	r := 1.0
+	if nHubs > 1 {
+		r = math.Pow(body/hubMax, 1/float64(nHubs-1))
+	}
+	h := hubMax
+	for i := 0; i < nHubs; i++ {
+		if h > out[i] {
+			out[i] = h
+		}
+		h *= r
+	}
+	return out
+}
+
+// ChungLu samples a graph from the Chung-Lu distribution: edge (u,v)
+// present independently with probability w_u·w_v/S, S = Σw (§9.2). The
+// sampler uses the Miller–Hagberg geometric-skipping technique on the
+// weight-sorted vertex order, running in O(n + m) expected time instead of
+// O(n²). Weights must be positive; entries with w_u·w_v > S are treated as
+// probability 1.
+func ChungLu(name string, weights []float64, rng *rand.Rand) *graph.Graph {
+	n := len(weights)
+	order := make([]uint32, n)
+	for i := range order {
+		order[i] = uint32(i)
+	}
+	// Sort vertex ids by non-increasing weight (ties by id for determinism).
+	sort.Slice(order, func(i, j int) bool {
+		wi, wj := weights[order[i]], weights[order[j]]
+		if wi != wj {
+			return wi > wj
+		}
+		return order[i] < order[j]
+	})
+	var S float64
+	for _, w := range weights {
+		S += w
+	}
+	b := graph.NewBuilder(name, n)
+	for i := 0; i < n-1; i++ {
+		wi := weights[order[i]]
+		j := i + 1
+		p := math.Min(1, wi*weights[order[j]]/S)
+		for j < n && p > 0 {
+			if p < 1 {
+				// Geometric skip: number of consecutive misses at rate p.
+				r := rng.Float64()
+				skip := int(math.Log(r) / math.Log(1-p))
+				j += skip
+			}
+			if j >= n {
+				break
+			}
+			q := math.Min(1, wi*weights[order[j]]/S)
+			if rng.Float64() < q/p {
+				b.AddEdge(order[i], order[j])
+			}
+			p = q
+			j++
+		}
+	}
+	return b.Build()
+}
+
+// PowerLawGraph samples a Chung-Lu graph whose expected degrees follow the
+// truncated power law with exponent alpha — the §9 random-graph model.
+func PowerLawGraph(name string, n int, alpha float64, rng *rand.Rand) *graph.Graph {
+	return ChungLu(name, PowerLawWeights(n, alpha), rng)
+}
+
+// RoadGrid builds a road-network-like graph: a W×H lattice where each
+// horizontal link exists with probability ph and each vertical link with
+// probability pv, a sparse sprinkle of cell diagonals (so short odd cycles
+// exist, as in real road networks), plus a few long-range shortcuts.
+// Degrees are nearly uniform and tiny — the opposite extreme from the
+// power-law graphs, like the paper's roadNetCA.
+func RoadGrid(name string, w, h int, ph, pv float64, rng *rand.Rand) *graph.Graph {
+	b := graph.NewBuilder(name, w*h)
+	id := func(x, y int) uint32 { return uint32(y*w + x) }
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			if x+1 < w && rng.Float64() < ph {
+				b.AddEdge(id(x, y), id(x+1, y))
+			}
+			if y+1 < h && rng.Float64() < pv {
+				b.AddEdge(id(x, y), id(x, y+1))
+			}
+			if x+1 < w && y+1 < h && rng.Float64() < 0.04 {
+				b.AddEdge(id(x, y), id(x+1, y+1))
+			}
+		}
+	}
+	// A sprinkle of shortcuts (ramps/bridges), ~0.5% of nodes.
+	for i := 0; i < w*h/200; i++ {
+		b.AddEdge(uint32(rng.Intn(w*h)), uint32(rng.Intn(w*h)))
+	}
+	return b.Build()
+}

@@ -1,0 +1,204 @@
+package gen
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestErdosRenyi(t *testing.T) {
+	g := ErdosRenyi("er", 1000, 5000, rand.New(rand.NewSource(1)))
+	if g.N() != 1000 {
+		t.Fatalf("N = %d", g.N())
+	}
+	// Collisions are rare at this density; expect nearly 5000 edges.
+	if g.M() < 4800 || g.M() > 5000 {
+		t.Fatalf("M = %d, want ≈5000", g.M())
+	}
+}
+
+func TestRMATSkew(t *testing.T) {
+	g := RMAT("rmat", 12, 16, Graph500, rand.New(rand.NewSource(2)))
+	if g.N() != 4096 {
+		t.Fatalf("N = %d", g.N())
+	}
+	if g.M() < 20000 {
+		t.Fatalf("M = %d, too few edges", g.M())
+	}
+	// R-MAT with A=0.5 concentrates mass on low ids: heavy-tailed degrees.
+	if float64(g.MaxDegree()) < 4*g.AvgDegree() {
+		t.Fatalf("expected skew: max %d vs avg %.1f", g.MaxDegree(), g.AvgDegree())
+	}
+}
+
+func TestPowerLawWeights(t *testing.T) {
+	n := 10000
+	for _, alpha := range []float64{1.2, 1.5, 1.8} {
+		w := PowerLawWeights(n, alpha)
+		if len(w) != n {
+			t.Fatalf("alpha %.1f: len = %d", alpha, len(w))
+		}
+		maxW := w[0]
+		for i, x := range w {
+			if x < 1 {
+				t.Fatalf("alpha %.1f: weight < 1 at %d", alpha, i)
+			}
+			if x > maxW {
+				t.Fatalf("weights not non-increasing")
+			}
+			maxW = x
+		}
+		if w[0] > math.Sqrt(float64(n))+1e-9 {
+			t.Fatalf("alpha %.1f: max weight %f exceeds √n", alpha, w[0])
+		}
+		// Heavier tails (smaller alpha) must put more total mass up high.
+		if alpha == 1.2 && w[0] < math.Sqrt(float64(n))/2 {
+			t.Fatalf("expected near-√n top weight, got %f", w[0])
+		}
+	}
+}
+
+func TestScaleWeightsMean(t *testing.T) {
+	w := ScaleWeights(PowerLawWeights(5000, 1.5), 8)
+	var sum float64
+	for _, x := range w {
+		sum += x
+		if x < 1 {
+			t.Fatalf("weight %f below 1", x)
+		}
+	}
+	mean := sum / float64(len(w))
+	if mean < 7 || mean > 10 {
+		t.Fatalf("mean = %f, want ≈8 (max(·,1) floor may lift it)", mean)
+	}
+}
+
+func TestAddHubs(t *testing.T) {
+	w := []float64{10, 9, 8, 7, 6, 5, 4, 3, 2, 1}
+	out := AddHubs(w, 100, 3)
+	if out[0] != 100 {
+		t.Fatalf("hub0 = %f", out[0])
+	}
+	if out[1] <= out[2] || out[2] < 10 {
+		t.Fatalf("hubs not geometric: %v", out[:4])
+	}
+	for i := 3; i < len(w); i++ {
+		if out[i] != w[i] {
+			t.Fatalf("body modified at %d", i)
+		}
+	}
+	// hubMax below the body max is a no-op.
+	same := AddHubs(w, 5, 3)
+	for i := range w {
+		if same[i] != w[i] {
+			t.Fatal("AddHubs should be a no-op when hubMax ≤ body max")
+		}
+	}
+}
+
+// Chung-Lu sampling must hit expected degrees on average: vertex degree
+// concentrates around its weight.
+func TestChungLuDegreesMatchWeights(t *testing.T) {
+	n := 4000
+	w := PowerLawWeights(n, 1.5)
+	// Average over several samples to beat variance on the heavy vertices.
+	sumDeg := make([]float64, n)
+	const samples = 5
+	for s := 0; s < samples; s++ {
+		g := ChungLu("cl", w, rand.New(rand.NewSource(int64(s))))
+		// ChungLu sorts by weight internally; weights are indexed by vertex id.
+		for v := 0; v < n; v++ {
+			sumDeg[v] += float64(g.Degree(uint32(v)))
+		}
+	}
+	// Check the global edge count and the top vertex's degree.
+	var S, D float64
+	for v := 0; v < n; v++ {
+		S += w[v]
+		D += sumDeg[v] / samples
+	}
+	if ratio := D / S; ratio < 0.8 || ratio > 1.2 {
+		t.Fatalf("total degree %f vs expected %f (ratio %f)", D, S, ratio)
+	}
+	top := 0
+	for v := 1; v < n; v++ {
+		if w[v] > w[top] {
+			top = v
+		}
+	}
+	got := sumDeg[top] / samples
+	if got < 0.6*w[top] || got > 1.4*w[top] {
+		t.Fatalf("top vertex degree %f vs weight %f", got, w[top])
+	}
+}
+
+func TestRoadGridShape(t *testing.T) {
+	g := RoadGrid("road", 50, 50, 0.7, 0.65, rand.New(rand.NewSource(3)))
+	if g.N() != 2500 {
+		t.Fatalf("N = %d", g.N())
+	}
+	if g.MaxDegree() > 8 {
+		t.Fatalf("road max degree %d, want tiny", g.MaxDegree())
+	}
+	ef := float64(g.M()) / float64(g.N())
+	if ef < 0.9 || ef > 1.8 {
+		t.Fatalf("edge factor %f, want ≈1.35", ef)
+	}
+}
+
+func TestStandins(t *testing.T) {
+	specs := StandinSpecs()
+	if len(specs) != 10 {
+		t.Fatalf("specs = %d", len(specs))
+	}
+	for _, s := range specs[:4] { // keep the test fast; full set in benches
+		g := s.Build(64, 42)
+		ef := float64(g.M()) / float64(g.N())
+		if ef < s.EdgeFactor/2.5 || ef > s.EdgeFactor*2.5 {
+			t.Errorf("%s: edge factor %.2f, want ≈%.2f", s.Name, ef, s.EdgeFactor)
+		}
+		if g.N() < 64 {
+			t.Errorf("%s: too few nodes", s.Name)
+		}
+	}
+	// Skew ordering: epinions-like must be more skewed than condMat-like
+	// at the same scale, mirroring Table 1.
+	ep, _ := StandinByName("epinions", 16, 7)
+	cm, _ := StandinByName("condMat", 16, 7)
+	skew := func(g interface {
+		MaxDegree() int
+		AvgDegree() float64
+	}) float64 {
+		return float64(g.MaxDegree()) / g.AvgDegree()
+	}
+	if skew(ep) <= skew(cm) {
+		t.Errorf("skew ordering violated: epinions %.1f vs condMat %.1f", skew(ep), skew(cm))
+	}
+	if _, ok := StandinByName("nope", 1, 1); ok {
+		t.Error("unknown stand-in accepted")
+	}
+}
+
+// Property: generators never produce self-loops or duplicate edges and are
+// deterministic for a fixed seed.
+func TestQuickGeneratorInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := RMAT("r", 8, 4, Graph500, rng)
+		for v := 0; v < g.N(); v++ {
+			prev := int64(-1)
+			for _, w := range g.Neighbors(uint32(v)) {
+				if int64(w) == int64(v) || int64(w) <= prev {
+					return false
+				}
+				prev = int64(w)
+			}
+		}
+		h1 := RMAT("r", 8, 4, Graph500, rand.New(rand.NewSource(seed)))
+		return h1.M() == RMAT("r", 8, 4, Graph500, rand.New(rand.NewSource(seed))).M()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

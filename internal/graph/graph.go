@@ -1,0 +1,212 @@
+// Package graph implements the large data graph substrate: a compact
+// CSR (compressed sparse row) adjacency structure, the degree-based total
+// order used by the DB algorithm (§5.1), summary statistics (Table 1), and
+// edge-list I/O.
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// NoVertex is the sentinel for "no vertex" in table keys and APIs.
+const NoVertex = ^uint32(0)
+
+// Graph is an undirected simple data graph over vertices 0..N-1 stored in
+// CSR form. Neighbor lists are sorted. The structure is immutable after
+// construction and safe for concurrent readers.
+type Graph struct {
+	Name string
+	n    int
+	off  []int64  // len n+1; neighbor range of v is nbr[off[v]:off[v+1]]
+	nbr  []uint32 // concatenated sorted neighbor lists
+
+	// rank[v] is v's position in the degree-based total order of §5.1:
+	// vertices sorted by (degree, id) increasing. rank[u] > rank[v] means
+	// "u ≻ v" — u is higher than v.
+	rank []int32
+}
+
+// N returns the number of vertices.
+func (g *Graph) N() int { return g.n }
+
+// M returns the number of undirected edges.
+func (g *Graph) M() int64 { return int64(len(g.nbr)) / 2 }
+
+// Neighbors returns the sorted neighbor list of v. Callers must not modify it.
+func (g *Graph) Neighbors(v uint32) []uint32 { return g.nbr[g.off[v]:g.off[v+1]] }
+
+// Degree returns the degree of v.
+func (g *Graph) Degree(v uint32) int { return int(g.off[v+1] - g.off[v]) }
+
+// HasEdge reports whether (u,v) is an edge, by binary search.
+func (g *Graph) HasEdge(u, v uint32) bool {
+	ns := g.Neighbors(u)
+	i := sort.Search(len(ns), func(i int) bool { return ns[i] >= v })
+	return i < len(ns) && ns[i] == v
+}
+
+// Rank returns v's position in the degree-based total order (§5.1):
+// vertices are sorted by increasing degree, ties broken by placing the
+// smaller id first. Higher rank = "higher" vertex.
+func (g *Graph) Rank(v uint32) int32 { return g.rank[v] }
+
+// Higher reports u ≻ v in the degree-based total order.
+func (g *Graph) Higher(u, v uint32) bool { return g.rank[u] > g.rank[v] }
+
+// MaxDegree returns the maximum vertex degree (0 for an empty graph).
+func (g *Graph) MaxDegree() int {
+	max := 0
+	for v := 0; v < g.n; v++ {
+		if d := g.Degree(uint32(v)); d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// AvgDegree returns the average vertex degree.
+func (g *Graph) AvgDegree() float64 {
+	if g.n == 0 {
+		return 0
+	}
+	return float64(len(g.nbr)) / float64(g.n)
+}
+
+// DegreeHistogram returns counts[j] = number of vertices whose degree d
+// satisfies 2^j ≤ d < 2^(j+1), with counts[0] also including degree 0..1.
+// Used by the power-law experiments (§9–§10).
+func (g *Graph) DegreeHistogram() []int64 {
+	var counts []int64
+	for v := 0; v < g.n; v++ {
+		d := g.Degree(uint32(v))
+		j := 0
+		for 1<<(j+1) <= d {
+			j++
+		}
+		for len(counts) <= j {
+			counts = append(counts, 0)
+		}
+		counts[j]++
+	}
+	return counts
+}
+
+// Stats summarizes a graph in the shape of the paper's Table 1.
+type Stats struct {
+	Name   string
+	Nodes  int
+	Edges  int64
+	AvgDeg float64
+	MaxDeg int
+}
+
+// Stats returns the Table 1 summary row for g.
+func (g *Graph) Stats() Stats {
+	return Stats{Name: g.Name, Nodes: g.n, Edges: g.M(), AvgDeg: g.AvgDegree(), MaxDeg: g.MaxDegree()}
+}
+
+func (s Stats) String() string {
+	return fmt.Sprintf("%-14s %9d nodes %10d edges  avg %5.1f  max %6d",
+		s.Name, s.Nodes, s.Edges, s.AvgDeg, s.MaxDeg)
+}
+
+// Builder accumulates edges and produces an immutable Graph. Self-loops are
+// dropped and duplicate edges are merged; edges may be added in any order.
+type Builder struct {
+	Name string
+	n    int
+	src  []uint32
+	dst  []uint32
+}
+
+// NewBuilder returns a Builder for a graph with at least n vertices.
+func NewBuilder(name string, n int) *Builder { return &Builder{Name: name, n: n} }
+
+// AddEdge records the undirected edge (u,v). Self-loops are ignored.
+// The vertex count grows to cover u and v if needed.
+func (b *Builder) AddEdge(u, v uint32) {
+	if u == v {
+		return
+	}
+	if int(u) >= b.n {
+		b.n = int(u) + 1
+	}
+	if int(v) >= b.n {
+		b.n = int(v) + 1
+	}
+	b.src = append(b.src, u, v)
+	b.dst = append(b.dst, v, u)
+}
+
+// Build finalizes the graph: counting-sorts the directed edge copies into
+// CSR, sorts neighbor lists, removes duplicates, and precomputes the
+// degree-based order.
+func (b *Builder) Build() *Graph {
+	g := &Graph{Name: b.Name, n: b.n}
+	// Counting sort by source.
+	deg := make([]int64, b.n+1)
+	for _, u := range b.src {
+		deg[u+1]++
+	}
+	off := make([]int64, b.n+1)
+	for v := 0; v < b.n; v++ {
+		off[v+1] = off[v] + deg[v+1]
+	}
+	nbr := make([]uint32, len(b.src))
+	cursor := make([]int64, b.n)
+	copy(cursor, off[:b.n])
+	for i, u := range b.src {
+		nbr[cursor[u]] = b.dst[i]
+		cursor[u]++
+	}
+	// Sort each list and dedupe in place.
+	out := nbr[:0]
+	newOff := make([]int64, b.n+1)
+	for v := 0; v < b.n; v++ {
+		lo, hi := off[v], off[v+1]
+		ns := nbr[lo:hi]
+		sort.Slice(ns, func(i, j int) bool { return ns[i] < ns[j] })
+		start := int64(len(out))
+		for i, w := range ns {
+			if i > 0 && ns[i-1] == w {
+				continue
+			}
+			out = append(out, w)
+		}
+		newOff[v] = start
+	}
+	newOff[b.n] = int64(len(out))
+	g.off = newOff
+	g.nbr = out
+	g.computeRank()
+	return g
+}
+
+func (g *Graph) computeRank() {
+	order := make([]uint32, g.n)
+	for v := range order {
+		order[v] = uint32(v)
+	}
+	sort.Slice(order, func(i, j int) bool {
+		di, dj := g.Degree(order[i]), g.Degree(order[j])
+		if di != dj {
+			return di < dj
+		}
+		return order[i] < order[j]
+	})
+	g.rank = make([]int32, g.n)
+	for pos, v := range order {
+		g.rank[v] = int32(pos)
+	}
+}
+
+// FromEdges builds a graph on n vertices from an explicit edge list;
+// convenient in tests and examples.
+func FromEdges(name string, n int, edges [][2]uint32) *Graph {
+	b := NewBuilder(name, n)
+	for _, e := range edges {
+		b.AddEdge(e[0], e[1])
+	}
+	return b.Build()
+}

@@ -1,0 +1,144 @@
+// Package powerlaw measures the path statistics analyzed in the paper's §9:
+// Y(q), the number of simple q-node paths whose first node has the highest
+// id (the cost driver of the naive/PS procedure, Equation 2), and X(q), the
+// number of high-starting paths under the degree order (the cost driver of
+// DB, Equation 3). It also checks the λ-balancedness property of degree
+// sequences (§10 Claim 10.1). These exact counters let the experiments
+// verify Theorem 9.1's predicted polynomial separation on Chung-Lu graphs.
+package powerlaw
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/graph"
+)
+
+// YQ counts simple paths (u1,…,uq) with id(u1) > id(uj) for all j ≥ 2
+// (§9 Equation 2). Exact enumeration; cost is proportional to the result.
+func YQ(g *graph.Graph, q int, workers int) uint64 {
+	return countPaths(g, q, workers, func(start, v uint32) bool { return start > v })
+}
+
+// XQ counts simple paths (u1,…,uq) with u1 ≻ uj in the degree-based total
+// order (§9 Equation 3) — the high-starting paths of the DB procedure.
+func XQ(g *graph.Graph, q int, workers int) uint64 {
+	return countPaths(g, q, workers, g.Higher)
+}
+
+// countPaths enumerates simple q-node paths whose start dominates every
+// later node under the given order, parallelized over start vertices.
+func countPaths(g *graph.Graph, q int, workers int, higher func(start, v uint32) bool) uint64 {
+	if q < 2 {
+		return uint64(g.N())
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var total atomic.Uint64
+	var next atomic.Int64
+	const chunk = 256
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			onPath := make(map[uint32]bool, q)
+			var sum uint64
+			var dfs func(start, cur uint32, depth int)
+			dfs = func(start, cur uint32, depth int) {
+				for _, nb := range g.Neighbors(cur) {
+					if !higher(start, nb) || onPath[nb] {
+						continue
+					}
+					if depth == q {
+						sum++
+						continue
+					}
+					onPath[nb] = true
+					dfs(start, nb, depth+1)
+					delete(onPath, nb)
+				}
+			}
+			for {
+				lo := next.Add(chunk) - chunk
+				if lo >= int64(g.N()) {
+					break
+				}
+				hi := lo + chunk
+				if hi > int64(g.N()) {
+					hi = int64(g.N())
+				}
+				for v := lo; v < hi; v++ {
+					start := uint32(v)
+					onPath[start] = true
+					dfs(start, start, 2)
+					delete(onPath, start)
+				}
+			}
+			total.Add(sum)
+		}()
+	}
+	wg.Wait()
+	return total.Load()
+}
+
+// Balancedness returns λ(a,b) = Σd^(a+b) / (Σd^a · Σd^b) for the actual
+// degree sequence of g. A sequence is λ-balanced when this is small; §10
+// shows truncated power laws give λ = O(n^(α/2−1)).
+func Balancedness(g *graph.Graph, a, b int) float64 {
+	var sa, sb, sab float64
+	for v := 0; v < g.N(); v++ {
+		d := float64(g.Degree(uint32(v)))
+		if d == 0 {
+			continue
+		}
+		sa += math.Pow(d, float64(a))
+		sb += math.Pow(d, float64(b))
+		sab += math.Pow(d, float64(a+b))
+	}
+	if sa == 0 || sb == 0 {
+		return 0
+	}
+	return sab / (sa * sb)
+}
+
+// TheoryY returns the §9.3/Lemma 9.8 growth exponent of E[Y(q)] on
+// truncated power-law Chung-Lu graphs: α − 1 + (2−α)·q/2.
+func TheoryY(alpha float64, q int) float64 {
+	return alpha - 1 + (2-alpha)*float64(q)/2
+}
+
+// TheoryX returns the Lemma 9.8 growth exponent of E[X(q)]:
+// 1/2 + (2−α)(q−1)/2 for α < 2 − 1/(q−1), and ≈1 (n·polylog) above.
+func TheoryX(alpha float64, q int) float64 {
+	if alpha < 2-1/float64(q-1) {
+		return 0.5 + (2-alpha)*float64(q-1)/2
+	}
+	return 1
+}
+
+// FitSlope returns the least-squares slope of log(y) against log(x):
+// the empirical growth exponent across a size sweep.
+func FitSlope(xs []int, ys []uint64) float64 {
+	n := 0
+	var sx, sy, sxx, sxy float64
+	for i := range xs {
+		if ys[i] == 0 {
+			continue
+		}
+		lx := math.Log(float64(xs[i]))
+		ly := math.Log(float64(ys[i]))
+		sx += lx
+		sy += ly
+		sxx += lx * lx
+		sxy += lx * ly
+		n++
+	}
+	if n < 2 {
+		return 0
+	}
+	fn := float64(n)
+	return (fn*sxy - sx*sy) / (fn*sxx - sx*sx)
+}

@@ -1,0 +1,57 @@
+// Package sig implements color signatures: sets of colors represented as
+// bitmaps, as used by the projection tables of the color-coding solver
+// (paper §7: "Signatures are maintained as bitmaps").
+//
+// Colors are small integers in [0, MaxColors). A signature is the set of
+// colors used by a (partial) colorful match.
+package sig
+
+import "math/bits"
+
+// MaxColors is the largest number of colors supported. Queries larger than
+// this are rejected up front; the paper's queries have at most 11 nodes.
+const MaxColors = 31
+
+// Sig is a set of colors encoded as a bitmap: bit c is set iff color c is
+// in the set. The zero value is the empty set.
+type Sig uint32
+
+// Of returns the singleton signature {c}.
+func Of(c uint8) Sig { return 1 << c }
+
+// Full returns the signature containing all colors 0..k-1.
+func Full(k int) Sig { return Sig(1)<<uint(k) - 1 }
+
+// Has reports whether color c is in s.
+func (s Sig) Has(c uint8) bool { return s&(1<<c) != 0 }
+
+// Add returns s ∪ {c}.
+func (s Sig) Add(c uint8) Sig { return s | 1<<c }
+
+// Union returns s ∪ t.
+func (s Sig) Union(t Sig) Sig { return s | t }
+
+// Inter returns s ∩ t.
+func (s Sig) Inter(t Sig) Sig { return s & t }
+
+// Without returns s \ t.
+func (s Sig) Without(t Sig) Sig { return s &^ t }
+
+// Disjoint reports whether s ∩ t = ∅.
+func (s Sig) Disjoint(t Sig) bool { return s&t == 0 }
+
+// Contains reports whether t ⊆ s.
+func (s Sig) Contains(t Sig) bool { return s&t == t }
+
+// Size returns |s|.
+func (s Sig) Size() int { return bits.OnesCount32(uint32(s)) }
+
+// Colors returns the colors in s in increasing order, appended to dst.
+func (s Sig) Colors(dst []uint8) []uint8 {
+	for s != 0 {
+		c := uint8(bits.TrailingZeros32(uint32(s)))
+		dst = append(dst, c)
+		s &= s - 1
+	}
+	return dst
+}

@@ -1,0 +1,86 @@
+package sig
+
+import (
+	"math/bits"
+	"testing"
+	"testing/quick"
+)
+
+func TestBasicOps(t *testing.T) {
+	var s Sig
+	if s.Size() != 0 {
+		t.Fatalf("empty size = %d", s.Size())
+	}
+	s = s.Add(3).Add(7).Add(3)
+	if s.Size() != 2 {
+		t.Fatalf("size = %d, want 2", s.Size())
+	}
+	if !s.Has(3) || !s.Has(7) || s.Has(0) {
+		t.Fatalf("membership wrong: %b", s)
+	}
+	if got := s.Colors(nil); len(got) != 2 || got[0] != 3 || got[1] != 7 {
+		t.Fatalf("Colors = %v", got)
+	}
+}
+
+func TestFull(t *testing.T) {
+	for k := 0; k <= MaxColors; k++ {
+		f := Full(k)
+		if f.Size() != k {
+			t.Fatalf("Full(%d).Size = %d", k, f.Size())
+		}
+		for c := 0; c < k; c++ {
+			if !f.Has(uint8(c)) {
+				t.Fatalf("Full(%d) missing %d", k, c)
+			}
+		}
+	}
+}
+
+func TestOf(t *testing.T) {
+	for c := uint8(0); c < MaxColors; c++ {
+		s := Of(c)
+		if s.Size() != 1 || !s.Has(c) {
+			t.Fatalf("Of(%d) = %b", c, s)
+		}
+	}
+}
+
+// Property: set algebra identities hold for arbitrary signatures.
+func TestQuickSetAlgebra(t *testing.T) {
+	f := func(a, b uint32) bool {
+		s, u := Sig(a), Sig(b)
+		if s.Union(u) != u.Union(s) || s.Inter(u) != u.Inter(s) {
+			return false
+		}
+		// |s ∪ u| = |s| + |u| - |s ∩ u|
+		if s.Union(u).Size() != s.Size()+u.Size()-s.Inter(u).Size() {
+			return false
+		}
+		if s.Disjoint(u) != (s.Inter(u) == 0) {
+			return false
+		}
+		if !s.Contains(s.Inter(u)) || !s.Union(u).Contains(s) {
+			return false
+		}
+		return s.Without(u).Inter(u) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Colors round-trips through Add.
+func TestQuickColorsRoundTrip(t *testing.T) {
+	f := func(a uint32) bool {
+		s := Sig(a)
+		var back Sig
+		for _, c := range s.Colors(nil) {
+			back = back.Add(c)
+		}
+		return back == s && s.Size() == bits.OnesCount32(a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

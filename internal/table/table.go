@@ -1,0 +1,140 @@
+// Package table implements the projection tables of the paper's engine
+// layer (§7): hash tables with open addressing mapping keys
+// (vertex, vertex, [recorded vertices,] signature) → colorful-match count.
+// Unary tables (single-boundary blocks) use keys with only U set; binary
+// tables use U and V; DB path tables may additionally record one or two
+// boundary-node mappings in X and Y (the §5.1 configurations).
+package table
+
+import "repro/internal/sig"
+
+// None marks an unused vertex slot in a key.
+const None = ^uint32(0)
+
+// Key identifies one projection-table entry. Sig is the signature (set of
+// colors used by the counted matches).
+type Key struct {
+	U, V, X, Y uint32
+	S          sig.Sig
+}
+
+// Unary returns a key for a single-boundary entry (u, sig).
+func Unary(u uint32, s sig.Sig) Key { return Key{U: u, V: None, X: None, Y: None, S: s} }
+
+// Binary returns a key for a two-boundary entry (u, v, sig).
+func Binary(u, v uint32, s sig.Sig) Key { return Key{U: u, V: v, X: None, Y: None, S: s} }
+
+// hash mixes the key with a splitmix64-style finalizer. Open addressing
+// needs strong diffusion: vertex ids and signatures are highly regular.
+func (k Key) hash() uint64 {
+	h := uint64(k.U)<<32 | uint64(k.V)
+	h ^= (uint64(k.X)<<32 | uint64(k.Y)) * 0x9e3779b97f4a7c15
+	h ^= uint64(k.S) << 17
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return h
+}
+
+// T is an open-addressing hash table from Key to uint64 count with linear
+// probing. The zero value is NOT ready; use New. Deletion is not supported
+// (the solvers only accumulate and iterate). Not safe for concurrent
+// mutation; the engine gives each worker its own shard.
+type T struct {
+	keys   []Key
+	counts []uint64
+	used   []bool
+	n      int
+}
+
+// New returns a table pre-sized for at least capacity entries.
+func New(capacity int) *T {
+	size := 16
+	for size < capacity*2 {
+		size *= 2
+	}
+	return &T{
+		keys:   make([]Key, size),
+		counts: make([]uint64, size),
+		used:   make([]bool, size),
+	}
+}
+
+// Len returns the number of distinct keys stored.
+func (t *T) Len() int { return t.n }
+
+// Add accumulates c into the entry for k (inserting it if absent).
+func (t *T) Add(k Key, c uint64) {
+	if t.n*4 >= len(t.keys)*3 {
+		t.grow()
+	}
+	mask := uint64(len(t.keys) - 1)
+	i := k.hash() & mask
+	for t.used[i] {
+		if t.keys[i] == k {
+			t.counts[i] += c
+			return
+		}
+		i = (i + 1) & mask
+	}
+	t.used[i] = true
+	t.keys[i] = k
+	t.counts[i] = c
+	t.n++
+}
+
+// Get returns the count stored for k (0 if absent).
+func (t *T) Get(k Key) uint64 {
+	mask := uint64(len(t.keys) - 1)
+	i := k.hash() & mask
+	for t.used[i] {
+		if t.keys[i] == k {
+			return t.counts[i]
+		}
+		i = (i + 1) & mask
+	}
+	return 0
+}
+
+func (t *T) grow() {
+	old := *t
+	t.keys = make([]Key, len(old.keys)*2)
+	t.counts = make([]uint64, len(old.counts)*2)
+	t.used = make([]bool, len(old.used)*2)
+	t.n = 0
+	for i, u := range old.used {
+		if u {
+			t.Add(old.keys[i], old.counts[i])
+		}
+	}
+}
+
+// Iter calls f for every entry; iteration stops if f returns false.
+// The iteration order is unspecified. The table must not be mutated
+// during iteration.
+func (t *T) Iter(f func(Key, uint64) bool) {
+	for i, u := range t.used {
+		if u && !f(t.keys[i], t.counts[i]) {
+			return
+		}
+	}
+}
+
+// Total returns the sum of all counts.
+func (t *T) Total() uint64 {
+	var total uint64
+	for i, u := range t.used {
+		if u {
+			total += t.counts[i]
+		}
+	}
+	return total
+}
+
+// Reset empties the table, keeping its capacity.
+func (t *T) Reset() {
+	clear(t.used)
+	t.n = 0
+}

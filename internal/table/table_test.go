@@ -1,0 +1,138 @@
+package table
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sig"
+)
+
+func TestAddGet(t *testing.T) {
+	tab := New(4)
+	k1 := Binary(1, 2, sig.Full(3))
+	k2 := Binary(2, 1, sig.Full(3))
+	tab.Add(k1, 5)
+	tab.Add(k1, 7)
+	tab.Add(k2, 1)
+	if got := tab.Get(k1); got != 12 {
+		t.Fatalf("Get(k1) = %d, want 12", got)
+	}
+	if got := tab.Get(k2); got != 1 {
+		t.Fatalf("Get(k2) = %d, want 1", got)
+	}
+	if tab.Len() != 2 {
+		t.Fatalf("Len = %d", tab.Len())
+	}
+	if tab.Total() != 13 {
+		t.Fatalf("Total = %d", tab.Total())
+	}
+	if got := tab.Get(Unary(1, sig.Full(3))); got != 0 {
+		t.Fatalf("missing key = %d", got)
+	}
+}
+
+func TestGrowth(t *testing.T) {
+	tab := New(1)
+	const n = 10000
+	for i := 0; i < n; i++ {
+		tab.Add(Binary(uint32(i), uint32(i*7), sig.Sig(i%64)), uint64(i))
+	}
+	if tab.Len() != n {
+		t.Fatalf("Len = %d, want %d", tab.Len(), n)
+	}
+	for i := 0; i < n; i++ {
+		if got := tab.Get(Binary(uint32(i), uint32(i*7), sig.Sig(i%64))); got != uint64(i) {
+			t.Fatalf("Get(%d) = %d", i, got)
+		}
+	}
+}
+
+func TestIterAndReset(t *testing.T) {
+	tab := New(8)
+	want := map[Key]uint64{}
+	for i := 0; i < 100; i++ {
+		k := Unary(uint32(i), sig.Sig(i))
+		tab.Add(k, uint64(i+1))
+		want[k] = uint64(i + 1)
+	}
+	got := map[Key]uint64{}
+	tab.Iter(func(k Key, c uint64) bool {
+		got[k] = c
+		return true
+	})
+	if len(got) != len(want) {
+		t.Fatalf("iterated %d entries, want %d", len(got), len(want))
+	}
+	for k, c := range want {
+		if got[k] != c {
+			t.Fatalf("entry %v = %d, want %d", k, got[k], c)
+		}
+	}
+	// Early stop.
+	n := 0
+	tab.Iter(func(Key, uint64) bool { n++; return n < 5 })
+	if n != 5 {
+		t.Fatalf("early stop visited %d", n)
+	}
+	tab.Reset()
+	if tab.Len() != 0 || tab.Total() != 0 {
+		t.Fatal("Reset did not clear")
+	}
+	tab.Add(Unary(1, 1), 2)
+	if tab.Len() != 1 || tab.Get(Unary(1, 1)) != 2 {
+		t.Fatal("table unusable after Reset")
+	}
+}
+
+// Property: the table behaves exactly like a Go map under random
+// accumulate workloads (including colliding keys).
+func TestQuickMatchesMap(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tab := New(2)
+		ref := map[Key]uint64{}
+		for op := 0; op < 2000; op++ {
+			k := Key{
+				U: uint32(rng.Intn(50)),
+				V: uint32(rng.Intn(50)),
+				X: None,
+				Y: None,
+				S: sig.Sig(rng.Intn(256)),
+			}
+			if rng.Intn(4) == 0 {
+				k.X = uint32(rng.Intn(10))
+			}
+			c := uint64(rng.Intn(100))
+			tab.Add(k, c)
+			ref[k] += c
+		}
+		if tab.Len() != len(ref) {
+			return false
+		}
+		for k, c := range ref {
+			if tab.Get(k) != c {
+				return false
+			}
+		}
+		var total uint64
+		for _, c := range ref {
+			total += c
+		}
+		return tab.Total() == total
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKeyConstructors(t *testing.T) {
+	u := Unary(3, 9)
+	if u.U != 3 || u.V != None || u.X != None || u.Y != None || u.S != 9 {
+		t.Fatalf("Unary = %+v", u)
+	}
+	b := Binary(3, 4, 9)
+	if b.U != 3 || b.V != 4 || b.X != None || b.S != 9 {
+		t.Fatalf("Binary = %+v", b)
+	}
+}

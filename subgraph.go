@@ -1,0 +1,172 @@
+// Package subgraph is the public API of this reproduction of
+// "Subgraph Counting: Color Coding Beyond Trees" (Chakaravarthy et al.,
+// IPDPS 2016): approximate subgraph counting for treewidth-2 query graphs
+// via color coding, with the paper's degree-based (DB) cycle solver and the
+// path-splitting (PS) baseline, over a simulated distributed engine.
+//
+// Typical use:
+//
+//	g, _ := subgraph.LoadGraph("data.edges")       // or a generator
+//	q, _ := subgraph.QueryByName("brain1")          // Figure 8 catalog
+//	est, _ := subgraph.Estimate(g, q, subgraph.EstimateOptions{Trials: 5})
+//	fmt.Println(est.Matches, est.Subgraphs)
+//
+// Exact colorful counting under one fixed coloring — the inner kernel — is
+// exposed as CountColorful; decomposition plans (§4.1, §6) as Plan /
+// EnumeratePlans.
+package subgraph
+
+import (
+	"io"
+	"math/rand"
+
+	"repro/internal/coloring"
+	"repro/internal/core"
+	"repro/internal/decomp"
+	"repro/internal/exact"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/query"
+)
+
+// Re-exported core types. Graph is the data graph (CSR, immutable), Query
+// the small template graph, PlanTree a decomposition tree.
+type (
+	Graph      = graph.Graph
+	GraphStats = graph.Stats
+	Query      = query.Graph
+	PlanTree   = decomp.Tree
+	Algorithm  = core.Algorithm
+	CountStats = core.Stats
+	Estimation = coloring.Estimate
+)
+
+// Algorithms: DB is the paper's degree-based solver, PS the baseline, and
+// PSEven the §5.1 even-split baseline variant (an ablation isolating DB's
+// balanced splits from its degree-ordering constraint).
+const (
+	DB     = core.DB
+	PS     = core.PS
+	PSEven = core.PSEven
+)
+
+// LoadGraph reads a SNAP-style whitespace edge list from disk.
+func LoadGraph(path string) (*Graph, error) { return graph.LoadEdgeList(path) }
+
+// ReadGraph reads a SNAP-style whitespace edge list from r.
+func ReadGraph(name string, r io.Reader) (*Graph, error) { return graph.ReadEdgeList(name, r) }
+
+// NewGraph builds a data graph from an explicit undirected edge list
+// (self-loops dropped, duplicates merged).
+func NewGraph(name string, n int, edges [][2]uint32) *Graph {
+	return graph.FromEdges(name, n, edges)
+}
+
+// GeneratePowerLaw samples a Chung-Lu graph with truncated power-law
+// expected degrees (§9.2 model); alpha ∈ (1,2), heavier tail for smaller
+// alpha.
+func GeneratePowerLaw(name string, n int, alpha float64, seed int64) *Graph {
+	return gen.PowerLawGraph(name, n, alpha, rand.New(rand.NewSource(seed)))
+}
+
+// GenerateRMAT samples an R-MAT graph with Graph500 parameters and
+// 2^scale vertices (the paper's weak-scaling workload, §8.4).
+func GenerateRMAT(name string, scale, edgeFactor int, seed int64) *Graph {
+	return gen.RMAT(name, scale, edgeFactor, gen.Graph500, rand.New(rand.NewSource(seed)))
+}
+
+// Standin builds the named Table 1 stand-in graph at 1/scale of the
+// original size; see DESIGN.md for the calibration. Known names:
+// brightkite, condMat, astroph, enron, hepph, slashdot, epinions, orkut,
+// roadNetCA, brain.
+func Standin(name string, scale int, seed int64) (*Graph, bool) {
+	return gen.StandinByName(name, scale, seed)
+}
+
+// QueryByName returns a named query: the Figure 8 catalog (dros, ecoli1,
+// ecoli2, brain1, brain2, brain3, glet1, glet2, wiki, youtube), the
+// Figure 2 "satellite" example, or parametric "cycle<L>", "path<L>",
+// "star<L>", "bintree<L>".
+func QueryByName(name string) (*Query, error) { return query.ByName(name) }
+
+// Queries returns the ten Figure 8 benchmark queries.
+func Queries() []*Query { return query.Catalog() }
+
+// NewQuery builds a query graph from an edge list; it must be connected
+// with treewidth ≤ 2 to be countable.
+func NewQuery(name string, k int, edges [][2]int) *Query {
+	return query.FromEdges(name, k, edges)
+}
+
+// ReadQuery parses a query graph from a whitespace edge list ("a b" per
+// line, 0-based node ids, '#' comments).
+func ReadQuery(name string, r io.Reader) (*Query, error) {
+	return query.ReadEdgeList(name, r)
+}
+
+// Plan computes the decomposition tree the solver will use: all trees are
+// enumerated (§4.1) and ranked by measured cost on a tiny fixed calibration
+// graph — the §6 enumerate-and-rank design, independent of the data graph.
+func Plan(q *Query) (*PlanTree, error) { return core.PickPlan(q) }
+
+// EnumeratePlans returns every distinct decomposition tree of q (used by
+// the Figure 14 heuristic-vs-optimal study).
+func EnumeratePlans(q *Query) ([]*PlanTree, error) { return decomp.Enumerate(q) }
+
+// CountOptions configures one colorful-counting run.
+type CountOptions = core.Options
+
+// CountColorful counts the colorful matches of q in g under a fixed
+// coloring (one color in [0,q.K) per vertex) — the inner kernel of the
+// estimator.
+func CountColorful(g *Graph, q *Query, colors []uint8, opts CountOptions) (uint64, CountStats, error) {
+	return core.CountColorful(g, q, colors, opts)
+}
+
+// RandomColoring draws a uniform coloring for use with CountColorful.
+func RandomColoring(g *Graph, q *Query, seed int64) []uint8 {
+	return coloring.Random(g.N(), q.K, rand.New(rand.NewSource(seed)))
+}
+
+// EstimateOptions configures the multi-trial estimator.
+type EstimateOptions struct {
+	Algorithm Algorithm
+	Workers   int
+	Trials    int // independent colorings; ≤ 0 means 3
+	Seed      int64
+	Plan      *PlanTree
+	// Parallel runs up to this many trials concurrently; results are
+	// bit-identical to the serial run. ≤ 1 means serial.
+	Parallel int
+}
+
+// Estimate approximates the number of matches (and distinct subgraphs) of
+// q in g by color coding: Trials independent colorings, each counted
+// exactly and scaled by k^k/k! (§2).
+func Estimate(g *Graph, q *Query, opts EstimateOptions) (Estimation, error) {
+	return coloring.Run(g, q, coloring.Options{
+		Trials:   opts.Trials,
+		Seed:     opts.Seed,
+		Parallel: opts.Parallel,
+		Core: core.Options{
+			Algorithm: opts.Algorithm,
+			Workers:   opts.Workers,
+			Plan:      opts.Plan,
+		},
+	})
+}
+
+// CountColorfulPerVertex counts colorful matches grouped by the data
+// vertex that the anchor query node maps to (per-vertex motif counts, as
+// in FASCIA). anchor must belong to the plan's root block; pass -1 to let
+// the solver choose. Returns the counts, the anchor used, and engine stats.
+func CountColorfulPerVertex(g *Graph, q *Query, colors []uint8, anchor int, opts CountOptions) ([]uint64, int, CountStats, error) {
+	return core.CountColorfulPerVertex(g, q, colors, anchor, opts)
+}
+
+// ExactCount counts matches by brute force — exponential in q; only for
+// validation on small graphs.
+func ExactCount(g *Graph, q *Query) uint64 { return exact.Matches(g, q) }
+
+// ScaleFactor returns k^k/k!, the color-coding normalization constant.
+func ScaleFactor(k int) float64 { return coloring.ScaleFactor(k) }

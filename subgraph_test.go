@@ -1,0 +1,91 @@
+package subgraph
+
+import (
+	"strings"
+	"testing"
+)
+
+// End-to-end smoke test through the public API only.
+func TestPublicAPIEndToEnd(t *testing.T) {
+	g := GeneratePowerLaw("pl", 500, 1.6, 1)
+	if g.N() != 500 || g.M() == 0 {
+		t.Fatalf("generator: N=%d M=%d", g.N(), g.M())
+	}
+	q, err := QueryByName("glet1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	colors := RandomColoring(g, q, 2)
+	cPS, _, err := CountColorful(g, q, colors, CountOptions{Algorithm: PS, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cDB, stats, err := CountColorful(g, q, colors, CountOptions{Algorithm: DB, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cPS != cDB {
+		t.Fatalf("PS %d != DB %d", cPS, cDB)
+	}
+	if stats.Workers != 2 || stats.TotalLoad == 0 {
+		t.Fatalf("stats: %+v", stats)
+	}
+	est, err := Estimate(g, q, EstimateOptions{Trials: 3, Seed: 5, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Trials != 3 || est.Matches < 0 {
+		t.Fatalf("estimate: %+v", est)
+	}
+	per, anchor, _, err := CountColorfulPerVertex(g, q, colors, -1, CountOptions{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum uint64
+	for _, c := range per {
+		sum += c
+	}
+	if sum != cDB {
+		t.Fatalf("per-vertex sum %d != total %d (anchor %d)", sum, cDB, anchor)
+	}
+}
+
+func TestFacadeHelpers(t *testing.T) {
+	if len(Queries()) != 10 {
+		t.Fatal("catalog size")
+	}
+	if _, err := QueryByName("cycle6"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := QueryByName("bogus"); err == nil {
+		t.Fatal("unknown query accepted")
+	}
+	q, _ := QueryByName("glet2")
+	plans, err := EnumeratePlans(q)
+	if err != nil || len(plans) != 1 {
+		t.Fatalf("plans: %v %v", plans, err)
+	}
+	p, err := Plan(q)
+	if err != nil || p.Root == nil {
+		t.Fatalf("plan: %v %v", p, err)
+	}
+	if ScaleFactor(3) != 4.5 {
+		t.Fatal("ScaleFactor")
+	}
+	if _, ok := Standin("enron", 64, 1); !ok {
+		t.Fatal("enron stand-in missing")
+	}
+	g, err := ReadGraph("r", strings.NewReader("0 1\n1 2\n"))
+	if err != nil || g.M() != 2 {
+		t.Fatalf("ReadGraph: %v %v", g, err)
+	}
+	tiny := NewGraph("tiny", 3, [][2]uint32{{0, 1}, {1, 2}, {0, 2}})
+	tri := NewQuery("tri", 3, [][2]int{{0, 1}, {1, 2}, {0, 2}})
+	if got := ExactCount(tiny, tri); got != 6 {
+		t.Fatalf("ExactCount = %d", got)
+	}
+	rm := GenerateRMAT("rm", 8, 4, 3)
+	if rm.N() != 256 {
+		t.Fatalf("RMAT N = %d", rm.N())
+	}
+}
