@@ -72,26 +72,48 @@ type Estimate struct {
 	Stats core.Stats // accumulated engine counters across trials
 }
 
-// Run estimates the number of matches of q in g by repeated colorful
-// counting under independent random colorings.
-func Run(g *graph.Graph, q *query.Graph, opts Options) (Estimate, error) {
-	trials := opts.Trials
+// Draw pre-draws the trials independent colorings Run would use for an
+// n-vertex graph and a k-node query: drawn sequentially from seed, so the
+// result depends only on (n, k, trials, seed). Callers running several
+// queries with equal k over the same graph and seed can draw once and pass
+// the shared slice to RunWith; trials ≤ 0 means 3, matching Run.
+func Draw(n, k, trials int, seed int64) [][]uint8 {
 	if trials <= 0 {
 		trials = 3
 	}
-	rng := rand.New(rand.NewSource(opts.Seed))
+	rng := rand.New(rand.NewSource(seed))
+	colorings := make([][]uint8, trials)
+	for i := range colorings {
+		colorings[i] = Random(n, k, rng)
+	}
+	return colorings
+}
+
+// Run estimates the number of matches of q in g by repeated colorful
+// counting under independent random colorings.
+func Run(g *graph.Graph, q *query.Graph, opts Options) (Estimate, error) {
+	return RunWith(g, q, Draw(g.N(), q.K, opts.Trials, opts.Seed), opts)
+}
+
+// RunWith is Run with the colorings supplied by the caller, one per trial
+// (the trial count is len(colorings)). Colorings are read-only and may be
+// shared across concurrent calls. RunWith with Draw-n colorings is
+// bit-for-bit identical to Run. A non-zero opts.Trials that disagrees
+// with len(colorings) is an error rather than a silent precision change.
+func RunWith(g *graph.Graph, q *query.Graph, colorings [][]uint8, opts Options) (Estimate, error) {
+	trials := len(colorings)
+	if trials == 0 {
+		return Estimate{}, fmt.Errorf("coloring: no colorings supplied")
+	}
+	if opts.Trials > 0 && opts.Trials != trials {
+		return Estimate{}, fmt.Errorf("coloring: opts.Trials %d disagrees with %d supplied colorings", opts.Trials, trials)
+	}
 	est := Estimate{
 		Query:  q.Name,
 		Graph:  g.Name,
 		K:      q.K,
 		Trials: trials,
 		Counts: make([]uint64, trials),
-	}
-	// Pre-draw all colorings sequentially so parallel and serial runs see
-	// identical randomness.
-	colorings := make([][]uint8, trials)
-	for i := range colorings {
-		colorings[i] = Random(g.N(), q.K, rng)
 	}
 	// Resolve the plan once up front: trials share it, and the calibration
 	// behind the default planner should not run concurrently per trial.

@@ -107,18 +107,49 @@ func ByName(name string) (*Graph, error) {
 	}
 	var l int
 	if _, err := fmt.Sscanf(name, "cycle%d", &l); err == nil {
+		if err := checkParametricL(name, l, 3); err != nil {
+			return nil, err
+		}
 		return Cycle(l), nil
 	}
 	if _, err := fmt.Sscanf(name, "path%d", &l); err == nil {
+		if err := checkParametricL(name, l, 1); err != nil {
+			return nil, err
+		}
 		return PathGraph(l), nil
 	}
 	if _, err := fmt.Sscanf(name, "star%d", &l); err == nil {
+		if err := checkParametricL(name, l, 2); err != nil {
+			return nil, err
+		}
 		return Star(l), nil
 	}
 	if _, err := fmt.Sscanf(name, "bintree%d", &l); err == nil {
+		if err := checkParametricL(name, l, 1); err != nil {
+			return nil, err
+		}
 		return BinaryTree(l), nil
 	}
 	return nil, fmt.Errorf("query: unknown query %q", name)
+}
+
+// MaxParametricL bounds the parametric families reachable by name: names
+// come from untrusted input (CLIs, the HTTP service), and the constructors
+// allocate an l×l adjacency matrix before any downstream size check runs.
+// The solver caps queries at 16 nodes anyway; 64 leaves headroom for
+// plotting/diagnostic uses without letting "star300000" allocate gigabytes.
+const MaxParametricL = 64
+
+// checkParametricL turns the constructors' panics on out-of-range l into
+// errors for name-based (untrusted) lookups.
+func checkParametricL(name string, l, min int) error {
+	if l < min {
+		return fmt.Errorf("query: %s needs ≥ %d nodes", name, min)
+	}
+	if l > MaxParametricL {
+		return fmt.Errorf("query: %s has %d nodes; max %d", name, l, MaxParametricL)
+	}
+	return nil
 }
 
 // MustByName is ByName but panics on error; for program-defined constants.

@@ -45,6 +45,41 @@ func FromEdges(name string, k int, edges [][2]int) *Graph {
 	return g
 }
 
+// FromEdgesChecked is FromEdges for untrusted input: it validates instead
+// of panicking, derives k as the largest node id plus one, and rejects
+// node ids above maxID *before* the k×k adjacency matrix is allocated (so
+// a hostile edge list cannot force a huge allocation). maxID ≤ 0 means
+// unbounded.
+func FromEdgesChecked(name string, edges [][2]int, maxID int) (*Graph, error) {
+	k := 0
+	for _, e := range edges {
+		a, b := e[0], e[1]
+		if a < 0 || b < 0 {
+			return nil, fmt.Errorf("query %s: negative node id in (%d,%d)", name, a, b)
+		}
+		if a == b {
+			return nil, fmt.Errorf("query %s: self-loop at %d", name, a)
+		}
+		if maxID > 0 && (a > maxID || b > maxID) {
+			big := a
+			if b > big {
+				big = b
+			}
+			return nil, fmt.Errorf("query %s: node id %d too large (max %d)", name, big, maxID)
+		}
+		if a >= k {
+			k = a + 1
+		}
+		if b >= k {
+			k = b + 1
+		}
+	}
+	if k == 0 {
+		return nil, fmt.Errorf("query %s: no edges", name)
+	}
+	return FromEdges(name, k, edges), nil
+}
+
 // AddEdge inserts the undirected edge (a,b). Duplicate insertions are
 // idempotent.
 func (g *Graph) AddEdge(a, b int) {
@@ -235,11 +270,12 @@ func (g *Graph) Automorphisms() uint64 {
 // ReadEdgeList parses a query graph from a whitespace edge list ("a b" per
 // line, '#' comments allowed, nodes are 0-based integers). The node count
 // is one more than the largest id seen. Useful for counting user-supplied
-// motifs via the CLI.
+// motifs via the CLI. Construction and semantic validation are
+// FromEdgesChecked's; the per-line checks here exist only to attach line
+// numbers, which matter when debugging a large motif file.
 func ReadEdgeList(name string, r io.Reader) (*Graph, error) {
 	sc := bufio.NewScanner(r)
 	var edges [][2]int
-	k := 0
 	line := 0
 	for sc.Scan() {
 		line++
@@ -258,18 +294,9 @@ func ReadEdgeList(name string, r io.Reader) (*Graph, error) {
 			return nil, fmt.Errorf("query: %s:%d: self-loop at %d", name, line, a)
 		}
 		edges = append(edges, [2]int{a, b})
-		if a >= k {
-			k = a + 1
-		}
-		if b >= k {
-			k = b + 1
-		}
 	}
 	if err := sc.Err(); err != nil {
 		return nil, fmt.Errorf("query: reading %s: %v", name, err)
 	}
-	if k == 0 {
-		return nil, fmt.Errorf("query: %s: no edges", name)
-	}
-	return FromEdges(name, k, edges), nil
+	return FromEdgesChecked(name, edges, 0)
 }

@@ -1,0 +1,144 @@
+package service
+
+import (
+	"container/list"
+	"fmt"
+	"strings"
+	"sync"
+
+	"repro/internal/coloring"
+	"repro/internal/core"
+	"repro/internal/query"
+	"repro/internal/sig"
+)
+
+// Key identifies one estimation exactly: the data graph by topology
+// fingerprint, the query by canonical labeled signature, and every knob
+// that changes the estimate's bits. Two requests with equal keys get
+// byte-identical results, so the cached value can be replayed verbatim.
+type Key struct {
+	Graph     uint64 // Fingerprint of the data graph
+	Query     string // QuerySignature of the query
+	Algorithm core.Algorithm
+	Trials    int
+	Seed      int64
+	Ranks     int // simulated engine ranks; changes Stats, not counts
+}
+
+// QuerySignature canonicalizes a labeled query graph as its node count
+// followed by one sig.Sig adjacency bitmap per node. Edge insertion order
+// and the query's display name do not affect it; queries too large for a
+// bitmap row (K > sig.MaxColors, rejected by the solver anyway) fall back
+// to an explicit edge list.
+func QuerySignature(q *query.Graph) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "k%d", q.K)
+	if q.K > sig.MaxColors {
+		for _, e := range q.Edges() {
+			fmt.Fprintf(&b, ":%d-%d", e[0], e[1])
+		}
+		return b.String()
+	}
+	for v := 0; v < q.K; v++ {
+		var row sig.Sig
+		for _, w := range q.Neighbors(v) {
+			row = row.Add(uint8(w))
+		}
+		fmt.Fprintf(&b, ":%x", uint32(row))
+	}
+	return b.String()
+}
+
+// CacheStats are the cache's observability counters.
+type CacheStats struct {
+	Entries   int    `json:"entries"`
+	Capacity  int    `json:"capacity"`
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Evictions uint64 `json:"evictions"`
+}
+
+type centry struct {
+	key Key
+	val coloring.Estimate
+}
+
+// Cache is a bounded LRU map from estimation keys to finished estimates.
+// It is safe for concurrent use; hits refresh recency.
+type Cache struct {
+	mu  sync.Mutex
+	cap int
+	m   map[Key]*list.Element
+	lru *list.List // front = most recently used
+
+	hits      uint64
+	misses    uint64
+	evictions uint64
+}
+
+// NewCache returns a cache holding up to capacity estimates (≤ 0 means
+// 4096).
+func NewCache(capacity int) *Cache {
+	if capacity <= 0 {
+		capacity = 4096
+	}
+	return &Cache{cap: capacity, m: make(map[Key]*list.Element), lru: list.New()}
+}
+
+// clone deep-copies an estimate's slices: the cache and its callers must
+// not share backing arrays, or a caller mutating result.Counts would
+// corrupt the value replayed to every later hit.
+func clone(e coloring.Estimate) coloring.Estimate {
+	e.Counts = append([]uint64(nil), e.Counts...)
+	if e.Stats.Loads != nil {
+		e.Stats.Loads = append([]int64(nil), e.Stats.Loads...)
+	}
+	return e
+}
+
+// Get returns the cached estimate for k, if present. The result is the
+// caller's to mutate.
+func (c *Cache) Get(k Key) (coloring.Estimate, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.m[k]
+	if !ok {
+		c.misses++
+		return coloring.Estimate{}, false
+	}
+	c.hits++
+	c.lru.MoveToFront(el)
+	return clone(el.Value.(*centry).val), true
+}
+
+// Put stores a copy of v under k, evicting the least-recently-used entry
+// if full. Re-putting an existing key refreshes its value and recency.
+func (c *Cache) Put(k Key, v coloring.Estimate) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.m[k]; ok {
+		el.Value.(*centry).val = clone(v)
+		c.lru.MoveToFront(el)
+		return
+	}
+	for c.lru.Len() >= c.cap {
+		oldest := c.lru.Back()
+		c.lru.Remove(oldest)
+		delete(c.m, oldest.Value.(*centry).key)
+		c.evictions++
+	}
+	c.m[k] = c.lru.PushFront(&centry{key: k, val: clone(v)})
+}
+
+// Stats returns the cache counters.
+func (c *Cache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Entries:   c.lru.Len(),
+		Capacity:  c.cap,
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Evictions: c.evictions,
+	}
+}

@@ -1,0 +1,135 @@
+package service_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/coloring"
+	"repro/internal/query"
+	"repro/internal/service"
+)
+
+func key(i int) service.Key {
+	return service.Key{Graph: uint64(i), Query: "k3:6:5:3", Trials: 3, Seed: 1, Ranks: 4}
+}
+
+func est(i int) coloring.Estimate {
+	return coloring.Estimate{Query: fmt.Sprintf("q%d", i), Matches: float64(i)}
+}
+
+func TestCacheLRUEvictionOrder(t *testing.T) {
+	c := service.NewCache(2)
+	c.Put(key(1), est(1))
+	c.Put(key(2), est(2))
+	if _, ok := c.Get(key(1)); !ok { // refresh 1: now 2 is the LRU entry
+		t.Fatal("key 1 missing")
+	}
+	c.Put(key(3), est(3)) // evicts 2, not 1
+	if _, ok := c.Get(key(2)); ok {
+		t.Error("key 2 should have been evicted as least recently used")
+	}
+	if v, ok := c.Get(key(1)); !ok || v.Query != "q1" {
+		t.Errorf("key 1 should survive; got %+v ok=%v", v, ok)
+	}
+	if v, ok := c.Get(key(3)); !ok || v.Query != "q3" {
+		t.Errorf("key 3 should be present; got %+v ok=%v", v, ok)
+	}
+	st := c.Stats()
+	if st.Evictions != 1 {
+		t.Errorf("evictions = %d, want 1", st.Evictions)
+	}
+	if st.Entries != 2 {
+		t.Errorf("entries = %d, want 2", st.Entries)
+	}
+}
+
+func TestCachePutRefreshesExisting(t *testing.T) {
+	c := service.NewCache(2)
+	c.Put(key(1), est(1))
+	c.Put(key(1), est(9))
+	if st := c.Stats(); st.Entries != 1 {
+		t.Fatalf("entries = %d, want 1 after double put", st.Entries)
+	}
+	if v, _ := c.Get(key(1)); v.Query != "q9" {
+		t.Errorf("re-put did not refresh value: got %q", v.Query)
+	}
+}
+
+// TestCacheConcurrent hammers one cache from many goroutines; run under
+// -race. It checks the counters stay consistent and the capacity bound
+// holds.
+func TestCacheConcurrent(t *testing.T) {
+	const (
+		workers = 8
+		ops     = 2000
+		keys    = 24 // working set fits the cache, so hits occur
+		cap     = 32
+	)
+	c := service.NewCache(cap)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < ops; i++ {
+				k := key((w*31 + i*7) % keys)
+				if v, ok := c.Get(k); ok {
+					if v.Matches != float64(int(k.Graph)) {
+						t.Errorf("cache returned wrong value for key %d: %v", k.Graph, v.Matches)
+						return
+					}
+				} else {
+					c.Put(k, est(int(k.Graph)))
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	st := c.Stats()
+	if st.Entries > cap {
+		t.Errorf("entries = %d exceeds capacity %d", st.Entries, cap)
+	}
+	if st.Hits+st.Misses != workers*ops {
+		t.Errorf("hits+misses = %d, want %d", st.Hits+st.Misses, workers*ops)
+	}
+	if st.Misses == 0 || st.Hits == 0 {
+		t.Errorf("expected both hits and misses, got %+v", st)
+	}
+}
+
+// TestCacheIsolatesSlices checks callers and the cache never share
+// Counts backing arrays in either direction.
+func TestCacheIsolatesSlices(t *testing.T) {
+	c := service.NewCache(4)
+	orig := coloring.Estimate{Query: "q", Counts: []uint64{1, 2, 3}}
+	c.Put(key(1), orig)
+	orig.Counts[0] = 99 // caller mutates after Put
+	got, ok := c.Get(key(1))
+	if !ok || got.Counts[0] != 1 {
+		t.Errorf("Put did not copy Counts: got %v", got.Counts)
+	}
+	got.Counts[1] = 77 // caller mutates a hit
+	again, _ := c.Get(key(1))
+	if again.Counts[1] != 2 {
+		t.Errorf("Get did not copy Counts: got %v", again.Counts)
+	}
+}
+
+func TestQuerySignature(t *testing.T) {
+	// Insertion order must not matter; topology and labels must.
+	a := query.FromEdges("a", 4, [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 0}})
+	b := query.FromEdges("b", 4, [][2]int{{3, 0}, {2, 3}, {0, 1}, {2, 1}})
+	if service.QuerySignature(a) != service.QuerySignature(b) {
+		t.Errorf("same labeled graph, different signatures:\n%s\n%s",
+			service.QuerySignature(a), service.QuerySignature(b))
+	}
+	c := query.FromEdges("c", 4, [][2]int{{0, 1}, {1, 2}, {2, 3}, {1, 3}})
+	if service.QuerySignature(a) == service.QuerySignature(c) {
+		t.Error("different topologies share a signature")
+	}
+	d := query.FromEdges("d", 5, [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 0}})
+	if service.QuerySignature(a) == service.QuerySignature(d) {
+		t.Error("different node counts share a signature")
+	}
+}

@@ -1,0 +1,206 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+)
+
+// Handler returns the service's HTTP API:
+//
+//	GET  /healthz      liveness probe
+//	GET  /v1/stats     counters of every layer (registry, cache, scheduler)
+//	POST /v1/graphs    register a graph (GraphSpec JSON) → GraphInfo
+//	GET  /v1/graphs    list registered graphs
+//	GET  /v1/graphs/X  one graph by id or name
+//	POST /v1/estimate  run one estimation (EstimateRequest JSON)
+//	POST /v1/batch     fan a BatchRequest's queries across the worker pool
+//
+// Estimate responses carry X-Cache: HIT|MISS and X-Elapsed-Ms headers; the
+// body is exactly the estimate, so a cache hit replays the original body
+// byte for byte.
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("POST /v1/graphs", s.handleAddGraph)
+	mux.HandleFunc("GET /v1/graphs", s.handleListGraphs)
+	mux.HandleFunc("GET /v1/graphs/{ref}", s.handleGetGraph)
+	mux.HandleFunc("POST /v1/estimate", s.handleEstimate)
+	mux.HandleFunc("POST /v1/batch", s.handleBatch)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	enc.Encode(v) //nolint:errcheck // client gone; nothing to do
+}
+
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+// writeError maps service errors to HTTP statuses: full queue → 503 (shed
+// load), deadline → 504, canceled client → 499 semantics via 503, unknown
+// graph → 404, anything else (malformed specs, bad queries) → 400.
+func writeError(w http.ResponseWriter, err error) {
+	status := http.StatusBadRequest
+	switch {
+	case errors.Is(err, ErrQueueFull), errors.Is(err, ErrClosed), errors.Is(err, context.Canceled):
+		status = http.StatusServiceUnavailable
+	case errors.Is(err, context.DeadlineExceeded):
+		status = http.StatusGatewayTimeout
+	case errors.Is(err, ErrUnknownGraph):
+		status = http.StatusNotFound
+	}
+	writeJSON(w, status, errorBody{Error: err.Error()})
+}
+
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		writeError(w, fmt.Errorf("service: bad request body: %w", err))
+		return false
+	}
+	return true
+}
+
+func (s *Service) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":        "ok",
+		"uptimeSeconds": time.Since(s.start).Seconds(),
+	})
+}
+
+func (s *Service) handleStats(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.Stats())
+}
+
+func (s *Service) handleAddGraph(w http.ResponseWriter, r *http.Request) {
+	var spec GraphSpec
+	if !decodeBody(w, r, &spec) {
+		return
+	}
+	info, err := s.AddGraph(spec)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, info)
+}
+
+func (s *Service) handleListGraphs(w http.ResponseWriter, _ *http.Request) {
+	infos := s.reg.List()
+	if infos == nil {
+		infos = []GraphInfo{}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"graphs": infos})
+}
+
+func (s *Service) handleGetGraph(w http.ResponseWriter, r *http.Request) {
+	ref := r.PathValue("ref")
+	info, ok := s.reg.Info(ref)
+	if !ok {
+		writeError(w, fmt.Errorf("%w %q", ErrUnknownGraph, ref))
+		return
+	}
+	writeJSON(w, http.StatusOK, info)
+}
+
+func (s *Service) handleEstimate(w http.ResponseWriter, r *http.Request) {
+	var req EstimateRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	res, err := s.Estimate(r.Context(), req)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	if res.Cached {
+		w.Header().Set("X-Cache", "HIT")
+	} else {
+		w.Header().Set("X-Cache", "MISS")
+	}
+	w.Header().Set("X-Elapsed-Ms", fmt.Sprintf("%.3f", float64(res.Elapsed.Microseconds())/1000))
+	writeJSON(w, http.StatusOK, res.Estimate)
+}
+
+// batchItemBody is the wire form of one batch outcome.
+type batchItemBody struct {
+	Query     string          `json:"query"`
+	Cached    bool            `json:"cached"`
+	ElapsedMS float64         `json:"elapsedMs"`
+	Estimate  json.RawMessage `json:"estimate,omitempty"`
+	Error     string          `json:"error,omitempty"`
+}
+
+func (s *Service) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var breq BatchRequest
+	if !decodeBody(w, r, &breq) {
+		return
+	}
+	items, err := s.EstimateBatch(r.Context(), breq)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	body := make([]batchItemBody, len(items))
+	for i, it := range items {
+		body[i] = batchItemBody{Query: it.Query}
+		if it.Err != nil {
+			body[i].Error = it.Err.Error()
+			continue
+		}
+		body[i].Cached = it.Result.Cached
+		body[i].ElapsedMS = float64(it.Result.Elapsed.Microseconds()) / 1000
+		raw, err := json.Marshal(it.Result.Estimate)
+		if err != nil {
+			body[i].Error = err.Error()
+			continue
+		}
+		body[i].Estimate = raw
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"graph":   breq.Graph,
+		"results": body,
+	})
+}
+
+// ListenAndServe runs the API on addr until ctx is canceled, then shuts
+// down gracefully: in-flight requests get grace to finish, the worker
+// pool drains, and the listener closes. Used by cmd/sgserve; tests use
+// Handler with httptest instead.
+func (s *Service) ListenAndServe(ctx context.Context, addr string, grace time.Duration) error {
+	srv := &http.Server{
+		Addr:              addr,
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	select {
+	case err := <-errc:
+		s.Close() // bind failure etc.: don't leak the worker pool
+		return err
+	case <-ctx.Done():
+	}
+	if grace <= 0 {
+		grace = 10 * time.Second
+	}
+	sctx, cancel := context.WithTimeout(context.Background(), grace)
+	defer cancel()
+	err := srv.Shutdown(sctx)
+	s.Close()
+	if err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,351 @@
+package service_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"testing"
+
+	subgraph "repro"
+)
+
+// newServer starts a fresh service behind httptest with the "enron"
+// stand-in registered as "bench", and returns the matching graph built
+// directly, for comparisons against the library path.
+func newServer(t *testing.T) (*httptest.Server, *subgraph.Graph) {
+	t.Helper()
+	svc := subgraph.NewService(subgraph.ServiceOptions{Workers: 4})
+	t.Cleanup(svc.Close)
+	ts := httptest.NewServer(svc.Handler())
+	t.Cleanup(ts.Close)
+
+	post(t, ts, "/v1/graphs", `{"standin":"enron","scale":512,"seed":1,"name":"bench"}`, http.StatusOK)
+	g, ok := subgraph.Standin("enron", 512, 1)
+	if !ok {
+		t.Fatal("unknown stand-in enron")
+	}
+	return ts, g
+}
+
+func post(t *testing.T, ts *httptest.Server, path, body string, wantStatus int) (raw []byte, header http.Header) {
+	t.Helper()
+	resp, err := http.Post(ts.URL+path, "application/json", bytes.NewReader([]byte(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err = io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != wantStatus {
+		t.Fatalf("POST %s: status %d, want %d; body: %s", path, resp.StatusCode, wantStatus, raw)
+	}
+	return raw, resp.Header
+}
+
+func get(t *testing.T, ts *httptest.Server, path string, v any) {
+	t.Helper()
+	resp, err := http.Get(ts.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	ts, _ := newServer(t)
+	var body struct {
+		Status string `json:"status"`
+	}
+	get(t, ts, "/healthz", &body)
+	if body.Status != "ok" {
+		t.Errorf("status = %q, want ok", body.Status)
+	}
+}
+
+// TestEstimateMatchesLibraryBitForBit is the end-to-end contract: the
+// served estimate equals a direct subgraph.Estimate call with the same
+// algorithm, trials, and seed, field for field.
+func TestEstimateMatchesLibraryBitForBit(t *testing.T) {
+	ts, g := newServer(t)
+	raw, header := post(t, ts, "/v1/estimate",
+		`{"graph":"bench","query":"glet1","trials":4,"seed":9}`, http.StatusOK)
+	if got := header.Get("X-Cache"); got != "MISS" {
+		t.Errorf("first request X-Cache = %q, want MISS", got)
+	}
+	var served subgraph.Estimation
+	if err := json.Unmarshal(raw, &served); err != nil {
+		t.Fatal(err)
+	}
+
+	q, err := subgraph.QueryByName("glet1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := subgraph.Estimate(g, q, subgraph.EstimateOptions{Trials: 4, Seed: 9, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(served, direct) {
+		t.Errorf("served estimate differs from direct call:\nserved: %+v\ndirect: %+v", served, direct)
+	}
+}
+
+// TestEstimateCacheHit proves the repeat-request path: identical bytes in
+// the body, X-Cache flips to HIT, and the cache hit counter increments.
+func TestEstimateCacheHit(t *testing.T) {
+	ts, _ := newServer(t)
+	req := `{"graph":"bench","query":"brain1","trials":3,"seed":2}`
+
+	var before subgraph.ServiceStats
+	get(t, ts, "/v1/stats", &before)
+
+	body1, h1 := post(t, ts, "/v1/estimate", req, http.StatusOK)
+	body2, h2 := post(t, ts, "/v1/estimate", req, http.StatusOK)
+	if h1.Get("X-Cache") != "MISS" || h2.Get("X-Cache") != "HIT" {
+		t.Errorf("X-Cache = %q then %q, want MISS then HIT", h1.Get("X-Cache"), h2.Get("X-Cache"))
+	}
+	if !bytes.Equal(body1, body2) {
+		t.Errorf("cached response body differs:\n%s\n%s", body1, body2)
+	}
+
+	var after subgraph.ServiceStats
+	get(t, ts, "/v1/stats", &after)
+	if after.Cache.Hits != before.Cache.Hits+1 {
+		t.Errorf("cache hits %d → %d, want +1", before.Cache.Hits, after.Cache.Hits)
+	}
+	if after.Estimates != before.Estimates+1 {
+		t.Errorf("computed estimates %d → %d, want +1 (second served from cache)",
+			before.Estimates, after.Estimates)
+	}
+}
+
+// TestBatchFigure8Catalog runs the paper's ten Figure 8 queries as one
+// batch and checks each result equals the direct library call with the
+// same seed, and that queries with matching node counts shared colorings.
+func TestBatchFigure8Catalog(t *testing.T) {
+	ts, g := newServer(t)
+	queries := subgraph.Queries()
+
+	var items []string
+	for _, q := range queries {
+		items = append(items, fmt.Sprintf(`{"query":%q}`, q.Name))
+	}
+	req := fmt.Sprintf(`{"graph":"bench","trials":3,"seed":5,"queries":[%s]}`,
+		bytes.NewBufferString(joinComma(items)))
+	raw, _ := post(t, ts, "/v1/batch", req, http.StatusOK)
+
+	var resp struct {
+		Graph   string `json:"graph"`
+		Results []struct {
+			Query    string          `json:"query"`
+			Cached   bool            `json:"cached"`
+			Estimate json.RawMessage `json:"estimate"`
+			Error    string          `json:"error"`
+		} `json:"results"`
+	}
+	if err := json.Unmarshal(raw, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Results) != len(queries) {
+		t.Fatalf("got %d results, want %d", len(resp.Results), len(queries))
+	}
+	for i, q := range queries {
+		r := resp.Results[i]
+		if r.Error != "" {
+			t.Errorf("%s: error: %s", q.Name, r.Error)
+			continue
+		}
+		if r.Query != q.Name {
+			t.Errorf("result %d is %q, want %q (order must be preserved)", i, r.Query, q.Name)
+			continue
+		}
+		var served subgraph.Estimation
+		if err := json.Unmarshal(r.Estimate, &served); err != nil {
+			t.Errorf("%s: %v", q.Name, err)
+			continue
+		}
+		direct, err := subgraph.Estimate(g, q, subgraph.EstimateOptions{Trials: 3, Seed: 5, Workers: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(served, direct) {
+			t.Errorf("%s: batch estimate differs from direct call:\nserved: %+v\ndirect: %+v",
+				q.Name, served, direct)
+		}
+	}
+
+	// Catalog node counts: 5,5 / 6 / 7,7 / 8,8 / 9,9 / 10 — four queries
+	// ride on another query's colorings.
+	var st subgraph.ServiceStats
+	get(t, ts, "/v1/stats", &st)
+	if st.ColoringsShared != 4 {
+		t.Errorf("coloringsShared = %d, want 4", st.ColoringsShared)
+	}
+	if st.Batches != 1 {
+		t.Errorf("batches = %d, want 1", st.Batches)
+	}
+}
+
+// TestBatchServesRepeatsFromCache re-runs a batch and expects every item
+// cached the second time.
+func TestBatchServesRepeatsFromCache(t *testing.T) {
+	ts, _ := newServer(t)
+	req := `{"graph":"bench","trials":2,"seed":3,"queries":[{"query":"glet2"},{"query":"youtube"}]}`
+	post(t, ts, "/v1/batch", req, http.StatusOK)
+	raw, _ := post(t, ts, "/v1/batch", req, http.StatusOK)
+	var resp struct {
+		Results []struct {
+			Cached bool `json:"cached"`
+		} `json:"results"`
+	}
+	if err := json.Unmarshal(raw, &resp); err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range resp.Results {
+		if !r.Cached {
+			t.Errorf("result %d not served from cache on repeat", i)
+		}
+	}
+}
+
+func TestEstimateErrors(t *testing.T) {
+	ts, _ := newServer(t)
+	post(t, ts, "/v1/estimate", `{"graph":"nope","query":"glet1"}`, http.StatusNotFound)
+	post(t, ts, "/v1/estimate", `{"graph":"bench","query":"nonesuch"}`, http.StatusBadRequest)
+	post(t, ts, "/v1/estimate", `{"graph":"bench","query":"glet1","algorithm":"XX"}`, http.StatusBadRequest)
+	post(t, ts, "/v1/estimate", `{"graph":"bench"}`, http.StatusBadRequest)
+	post(t, ts, "/v1/graphs", `{"standin":"enron","scale":512,"seed":1,"name":"bench2","powerlaw":3}`, http.StatusBadRequest)
+	// star6 has treewidth 1 and is fine; a clique K4 has treewidth 3 and
+	// must be rejected by the solver with a client error.
+	post(t, ts, "/v1/estimate",
+		`{"graph":"bench","queryEdges":[[0,1],[0,2],[0,3],[1,2],[1,3],[2,3]]}`, http.StatusBadRequest)
+	// Resource-exhaustion guards: an absurd node id must be rejected
+	// before the k×k adjacency matrix is allocated, and a huge trial
+	// count before trials×n colorings are drawn.
+	post(t, ts, "/v1/estimate",
+		`{"graph":"bench","queryEdges":[[0,1073741824]]}`, http.StatusBadRequest)
+	post(t, ts, "/v1/estimate",
+		`{"graph":"bench","query":"glet1","trials":2000000000}`, http.StatusBadRequest)
+	post(t, ts, "/v1/estimate",
+		`{"graph":"bench","query":"glet1","ranks":2000000000}`, http.StatusBadRequest)
+	// Parametric query names are untrusted too: huge, tiny, and negative
+	// sizes must all be request errors, not allocations or panics, and
+	// anything above the solver's 16-node cap is rejected up front.
+	post(t, ts, "/v1/estimate", `{"graph":"bench","query":"star300000"}`, http.StatusBadRequest)
+	post(t, ts, "/v1/estimate", `{"graph":"bench","query":"cycle2"}`, http.StatusBadRequest)
+	post(t, ts, "/v1/estimate", `{"graph":"bench","query":"cycle-3"}`, http.StatusBadRequest)
+	post(t, ts, "/v1/estimate", `{"graph":"bench","query":"path20"}`, http.StatusBadRequest)
+	// A per-query graph override inside a batch is a per-item error, not
+	// a silent recompute against the batch graph.
+	raw, _ := post(t, ts, "/v1/batch",
+		`{"graph":"bench","queries":[{"graph":"other","query":"glet1"},{"query":"youtube"}]}`, http.StatusOK)
+	var br struct {
+		Results []struct {
+			Error string `json:"error"`
+		} `json:"results"`
+	}
+	if err := json.Unmarshal(raw, &br); err != nil {
+		t.Fatal(err)
+	}
+	if len(br.Results) != 2 || br.Results[0].Error == "" || br.Results[1].Error != "" {
+		t.Errorf("batch graph-override handling wrong: %+v", br.Results)
+	}
+}
+
+// TestCustomQueryEdges estimates via an explicit edge list and checks it
+// against the equivalent named query.
+func TestCustomQueryEdges(t *testing.T) {
+	ts, g := newServer(t)
+	// cycle4 as explicit edges.
+	raw, _ := post(t, ts, "/v1/estimate",
+		`{"graph":"bench","queryEdges":[[0,1],[1,2],[2,3],[3,0]],"trials":3,"seed":11}`, http.StatusOK)
+	var served subgraph.Estimation
+	if err := json.Unmarshal(raw, &served); err != nil {
+		t.Fatal(err)
+	}
+	q, err := subgraph.QueryByName("cycle4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := subgraph.Estimate(g, q, subgraph.EstimateOptions{Trials: 3, Seed: 11, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if served.Matches != direct.Matches || !reflect.DeepEqual(served.Counts, direct.Counts) {
+		t.Errorf("custom edges differ from cycle4:\nserved: %+v\ndirect: %+v", served, direct)
+	}
+}
+
+// TestCacheHitKeepsRequesterNames sends the same topology under two
+// display names; the second is a cache hit but must answer with its own
+// query name, not replay the first requester's.
+func TestCacheHitKeepsRequesterNames(t *testing.T) {
+	ts, _ := newServer(t)
+	body1, _ := post(t, ts, "/v1/estimate",
+		`{"graph":"bench","queryEdges":[[0,1],[1,2],[2,0]],"queryName":"t1","trials":2,"seed":6}`, http.StatusOK)
+	body2, h2 := post(t, ts, "/v1/estimate",
+		`{"graph":"bench","queryEdges":[[0,1],[1,2],[2,0]],"queryName":"t2","trials":2,"seed":6}`, http.StatusOK)
+	if h2.Get("X-Cache") != "HIT" {
+		t.Fatalf("second request X-Cache = %q, want HIT", h2.Get("X-Cache"))
+	}
+	var e1, e2 subgraph.Estimation
+	if err := json.Unmarshal(body1, &e1); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(body2, &e2); err != nil {
+		t.Fatal(err)
+	}
+	if e1.Query != "t1" || e2.Query != "t2" {
+		t.Errorf("query names = %q, %q; want t1, t2", e1.Query, e2.Query)
+	}
+	if !reflect.DeepEqual(e1.Counts, e2.Counts) || e1.Matches != e2.Matches {
+		t.Errorf("cache hit changed the numbers:\n%+v\n%+v", e1, e2)
+	}
+}
+
+func TestGraphListingAndLookup(t *testing.T) {
+	ts, _ := newServer(t)
+	var listing struct {
+		Graphs []subgraph.GraphInfo `json:"graphs"`
+	}
+	get(t, ts, "/v1/graphs", &listing)
+	if len(listing.Graphs) != 1 || listing.Graphs[0].Name != "bench" {
+		t.Fatalf("listing = %+v, want one graph named bench", listing.Graphs)
+	}
+	var info subgraph.GraphInfo
+	get(t, ts, "/v1/graphs/bench", &info)
+	if info.ID != listing.Graphs[0].ID || info.Nodes == 0 {
+		t.Errorf("lookup by name = %+v", info)
+	}
+	resp, err := http.Get(ts.URL + "/v1/graphs/nonesuch")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown graph lookup: status %d, want 404", resp.StatusCode)
+	}
+}
+
+func joinComma(items []string) string {
+	out := ""
+	for i, s := range items {
+		if i > 0 {
+			out += ","
+		}
+		out += s
+	}
+	return out
+}

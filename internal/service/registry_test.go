@@ -1,0 +1,265 @@
+package service_test
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/service"
+)
+
+func plSpec(seed int64) service.GraphSpec {
+	return service.GraphSpec{PowerLawN: 500, Alpha: 1.6, Seed: seed}
+}
+
+// graphBytes measures the resident size the registry charges for one
+// plSpec graph, so eviction tests can pick budgets without hard-coding
+// size estimates.
+func graphBytes(t *testing.T, seed int64) int64 {
+	t.Helper()
+	r := service.NewRegistry(0)
+	h, err := r.Add(plSpec(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Release()
+	return r.Stats().Bytes
+}
+
+func TestRegistryDedupesBySource(t *testing.T) {
+	r := service.NewRegistry(0)
+	h1, err := r.Add(plSpec(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h1.Release()
+	h2, err := r.Add(plSpec(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h2.Release()
+	if h1.ID() != h2.ID() {
+		t.Errorf("same spec produced two entries: %s vs %s", h1.ID(), h2.ID())
+	}
+	if h1.Graph() != h2.Graph() {
+		t.Error("same spec produced two graph instances")
+	}
+	st := r.Stats()
+	if st.Loads != 1 {
+		t.Errorf("loads = %d, want 1", st.Loads)
+	}
+	if st.Graphs != 1 {
+		t.Errorf("graphs = %d, want 1", st.Graphs)
+	}
+}
+
+func TestRegistryAcquireByIDAndName(t *testing.T) {
+	r := service.NewRegistry(0)
+	spec := plSpec(1)
+	spec.Name = "mygraph"
+	h, err := r.Add(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Release()
+	byID, ok := r.Acquire(h.ID())
+	if !ok {
+		t.Fatalf("acquire by id %s failed", h.ID())
+	}
+	byID.Release()
+	byName, ok := r.Acquire("mygraph")
+	if !ok {
+		t.Fatal("acquire by name failed")
+	}
+	byName.Release()
+	if _, ok := r.Acquire("nonesuch"); ok {
+		t.Error("acquire of unknown ref succeeded")
+	}
+}
+
+func TestRegistryNameCollision(t *testing.T) {
+	r := service.NewRegistry(0)
+	a := plSpec(1)
+	a.Name = "taken"
+	h, err := r.Add(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Release()
+	b := plSpec(2) // different source, same name
+	b.Name = "taken"
+	if _, err := r.Add(b); err == nil {
+		t.Error("conflicting name registration succeeded")
+	}
+}
+
+func TestRegistryRejectsAmbiguousSpec(t *testing.T) {
+	r := service.NewRegistry(0)
+	if _, err := r.Add(service.GraphSpec{}); err == nil {
+		t.Error("empty spec accepted")
+	}
+	if _, err := r.Add(service.GraphSpec{Standin: "enron", PowerLawN: 100}); err == nil {
+		t.Error("double-source spec accepted")
+	}
+}
+
+func TestRegistryLRUEvictionRespectsRefsAndRecency(t *testing.T) {
+	one := graphBytes(t, 1)
+	// Budget fits two graphs but not three.
+	r := service.NewRegistry(2*one + one/2)
+
+	h1, err := r.Add(plSpec(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, err := r.Add(plSpec(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	id1, id2 := h1.ID(), h2.ID()
+
+	// All entries referenced: adding a third must evict nothing.
+	h3, err := r.Add(plSpec(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := r.Stats(); st.Evictions != 0 || st.Graphs != 3 {
+		t.Fatalf("eviction while all graphs referenced: %+v", st)
+	}
+
+	// Release 2 then 1: 2 is now least recently used and the only idle
+	// entries are over budget, so releasing must evict 2 first.
+	h2.Release()
+	if st := r.Stats(); st.Evictions != 1 {
+		t.Fatalf("releasing over budget should evict the idle entry: %+v", st)
+	}
+	if _, ok := r.Acquire(id2); ok {
+		t.Error("evicted graph still resolvable")
+	}
+	h1.Release()
+	h3.Release()
+	// Now within budget (two graphs resident): no further eviction.
+	st := r.Stats()
+	if st.Graphs != 2 || st.Evictions != 1 {
+		t.Fatalf("want 2 resident graphs, 1 eviction: %+v", st)
+	}
+	if _, ok := r.Acquire(id1); !ok {
+		t.Error("recently used graph was evicted")
+	}
+}
+
+// TestRegistryEvictionClearsAliases re-registers one source under an
+// extra name and checks that eviction removes every alias: resolving a
+// stale alias to an evicted entry would hand out a handle whose graph is
+// nil.
+func TestRegistryEvictionClearsAliases(t *testing.T) {
+	one := graphBytes(t, 1)
+	r := service.NewRegistry(one + one/2) // fits one graph only
+
+	h, err := r.Add(plSpec(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	aliased := plSpec(1)
+	aliased.Name = "alias"
+	ha, err := r.Add(aliased)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ha.Release()
+	h.Release()
+
+	// Force the first graph out by adding a second.
+	h2, err := r.Add(plSpec(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h2.Release()
+	if st := r.Stats(); st.Evictions != 1 {
+		t.Fatalf("want 1 eviction, got %+v", st)
+	}
+	if _, ok := r.Acquire("alias"); ok {
+		t.Fatal("alias of evicted graph still resolvable")
+	}
+	if _, ok := r.Info("alias"); ok {
+		t.Fatal("Info on alias of evicted graph still succeeds")
+	}
+}
+
+// TestRegistryAutoIDSkipsSquattedNames registers a graph under the name
+// an auto id would later take ("g2") and checks the auto id does not
+// hijack the byRef entry.
+func TestRegistryAutoIDSkipsSquattedNames(t *testing.T) {
+	r := service.NewRegistry(0)
+	squat := plSpec(1)
+	squat.Name = "g2"
+	h1, err := r.Add(squat) // gets id g1, name g2
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h1.Release()
+	h2, err := r.Add(plSpec(2)) // would be id g2; must skip to g3
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h2.Release()
+	if h2.ID() == "g2" {
+		t.Fatal("auto id reused a user-squatted name")
+	}
+	got, ok := r.Acquire("g2")
+	if !ok {
+		t.Fatal("squatted name no longer resolves")
+	}
+	defer got.Release()
+	if got.Fingerprint() != h1.Fingerprint() {
+		t.Error("name g2 resolves to the wrong graph")
+	}
+}
+
+func TestRegistryConcurrentAdd(t *testing.T) {
+	r := service.NewRegistry(0)
+	const workers = 8
+	ids := make([]string, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			h, err := r.Add(plSpec(7))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			ids[w] = h.ID()
+			h.Release()
+		}(w)
+	}
+	wg.Wait()
+	for _, id := range ids[1:] {
+		if id != ids[0] {
+			t.Fatalf("concurrent adds of one spec produced entries %v", ids)
+		}
+	}
+	if st := r.Stats(); st.Graphs != 1 {
+		t.Errorf("graphs = %d, want 1", st.Graphs)
+	}
+}
+
+func TestFingerprintDistinguishesTopology(t *testing.T) {
+	r := service.NewRegistry(0)
+	h1, err := r.Add(plSpec(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h1.Release()
+	h2, err := r.Add(plSpec(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h2.Release()
+	if h1.Fingerprint() == h2.Fingerprint() {
+		t.Error("different graphs share a fingerprint")
+	}
+	if h1.Fingerprint() != service.Fingerprint(h1.Graph()) {
+		t.Error("handle fingerprint differs from recomputation")
+	}
+}

@@ -1,0 +1,168 @@
+package service_test
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/service"
+)
+
+// blockWorker occupies the scheduler's single worker until release is
+// closed, so subsequent submissions pile up in the priority queue.
+func blockWorker(t *testing.T, s *service.Scheduler) (release chan struct{}) {
+	t.Helper()
+	started := make(chan struct{})
+	release = make(chan struct{})
+	if _, err := s.Submit(context.Background(), 1<<30, func(context.Context) error {
+		close(started)
+		<-release
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	return release
+}
+
+func TestSchedulerPriorityOrder(t *testing.T) {
+	s := service.NewScheduler(1, 0)
+	defer s.Close()
+	release := blockWorker(t, s)
+
+	var mu sync.Mutex
+	var order []int
+	var jobs []*service.Job
+	for _, pri := range []int{1, 3, 2, 3} {
+		pri := pri
+		j, err := s.Submit(context.Background(), pri, func(context.Context) error {
+			mu.Lock()
+			order = append(order, pri)
+			mu.Unlock()
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		jobs = append(jobs, j)
+	}
+	close(release)
+	for _, j := range jobs {
+		if err := j.Wait(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := []int{3, 3, 2, 1} // priority desc, FIFO within a level
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("execution order %v, want %v", order, want)
+		}
+	}
+}
+
+func TestSchedulerDropsCanceledJobs(t *testing.T) {
+	s := service.NewScheduler(1, 0)
+	defer s.Close()
+	release := blockWorker(t, s)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	ran := false
+	cleaned := make(chan struct{})
+	j, err := s.SubmitJob(ctx, 0, func(context.Context) error {
+		ran = true
+		return nil
+	}, func() { close(cleaned) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	cancel()
+	close(release)
+	if err := j.Wait(); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Wait = %v, want context.Canceled", err)
+	}
+	select {
+	case <-cleaned:
+	case <-time.After(5 * time.Second):
+		t.Fatal("cleanup hook never ran for dropped job")
+	}
+	if ran {
+		t.Error("canceled job's fn ran anyway")
+	}
+	// The counter updates after the drop; poll briefly.
+	deadline := time.Now().Add(5 * time.Second)
+	for s.Stats().Canceled == 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("canceled counter never incremented: %+v", s.Stats())
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestSchedulerDeadline(t *testing.T) {
+	s := service.NewScheduler(1, 0)
+	defer s.Close()
+	release := blockWorker(t, s)
+	defer close(release)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	j, err := s.Submit(ctx, 0, func(context.Context) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The worker is blocked, so the deadline fires while queued.
+	if err := j.Wait(); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Wait = %v, want context.DeadlineExceeded", err)
+	}
+}
+
+func TestSchedulerQueueFull(t *testing.T) {
+	s := service.NewScheduler(1, 1)
+	defer s.Close()
+	release := blockWorker(t, s)
+	defer close(release)
+
+	if _, err := s.Submit(context.Background(), 0, func(context.Context) error { return nil }); err != nil {
+		t.Fatalf("first queued job rejected: %v", err)
+	}
+	_, err := s.Submit(context.Background(), 0, func(context.Context) error { return nil })
+	if !errors.Is(err, service.ErrQueueFull) {
+		t.Fatalf("err = %v, want ErrQueueFull", err)
+	}
+	if st := s.Stats(); st.Rejected != 1 {
+		t.Errorf("rejected = %d, want 1", st.Rejected)
+	}
+}
+
+func TestSchedulerCloseDrainsQueue(t *testing.T) {
+	s := service.NewScheduler(2, 0)
+	var mu sync.Mutex
+	done := 0
+	var jobs []*service.Job
+	for i := 0; i < 16; i++ {
+		j, err := s.Submit(context.Background(), 0, func(context.Context) error {
+			mu.Lock()
+			done++
+			mu.Unlock()
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		jobs = append(jobs, j)
+	}
+	s.Close() // must drain, not abandon
+	for _, j := range jobs {
+		if err := j.Wait(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if done != 16 {
+		t.Errorf("done = %d, want 16", done)
+	}
+	if _, err := s.Submit(context.Background(), 0, func(context.Context) error { return nil }); !errors.Is(err, service.ErrClosed) {
+		t.Errorf("Submit after Close = %v, want ErrClosed", err)
+	}
+}

@@ -1,0 +1,611 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/coloring"
+	"repro/internal/core"
+	"repro/internal/query"
+)
+
+// ErrUnknownGraph is returned when a request references a graph id or
+// name the registry does not hold (never registered, or evicted).
+var ErrUnknownGraph = errors.New("service: unknown graph")
+
+// Options configures a Service.
+type Options struct {
+	// Workers is the number of scheduler worker goroutines (≤ 0 means
+	// runtime.NumCPU()). Each runs one estimation job at a time.
+	Workers int
+	// QueueDepth bounds the pending-job queue; submissions beyond it are
+	// rejected with ErrQueueFull (≤ 0 means 1024).
+	QueueDepth int
+	// CacheCapacity bounds the result cache in entries (≤ 0 means 4096).
+	CacheCapacity int
+	// GraphBudgetBytes bounds the registry's resident graph memory
+	// (≤ 0 means 1 GiB).
+	GraphBudgetBytes int64
+	// DefaultTrials is used when a request leaves Trials ≤ 0 (≤ 0 means 3,
+	// matching subgraph.Estimate).
+	DefaultTrials int
+	// DefaultRanks is the simulated engine rank count when a request leaves
+	// Ranks ≤ 0 (≤ 0 means 4, matching the core default).
+	DefaultRanks int
+	// MaxTrials bounds the per-request trial count; requests beyond it are
+	// rejected rather than allowed to allocate trials×n bytes of colorings
+	// (≤ 0 means 1024).
+	MaxTrials int
+	// MaxRanks bounds the per-request simulated rank count; the engine
+	// allocates per-rank state, so this must not be request-controlled
+	// without limit (≤ 0 means 256).
+	MaxRanks int
+	// DefaultTimeout bounds each job when the request sets no TimeoutMS;
+	// zero means no deadline.
+	DefaultTimeout time.Duration
+	// GraphDir, when non-empty, allows GraphSpec.Path loading for specs
+	// submitted through AddGraph, resolved relative to (and confined to)
+	// this directory and bounded by GraphBudgetBytes. When empty — the
+	// default — path specs are rejected: requests must not be able to
+	// probe the server's filesystem or load unbounded files.
+	GraphDir string
+}
+
+func (o Options) withDefaults() Options {
+	if o.Workers <= 0 {
+		o.Workers = runtime.NumCPU()
+	}
+	if o.QueueDepth <= 0 {
+		o.QueueDepth = 1024
+	}
+	if o.CacheCapacity <= 0 {
+		o.CacheCapacity = 4096
+	}
+	if o.GraphBudgetBytes <= 0 {
+		o.GraphBudgetBytes = 1 << 30
+	}
+	if o.DefaultTrials <= 0 {
+		o.DefaultTrials = 3
+	}
+	if o.DefaultRanks <= 0 {
+		o.DefaultRanks = 4
+	}
+	if o.MaxTrials <= 0 {
+		o.MaxTrials = 1024
+	}
+	if o.MaxRanks <= 0 {
+		o.MaxRanks = 256
+	}
+	return o
+}
+
+// Service is the long-running estimation service: a graph registry, a
+// result cache, and a scheduled worker pool over the color-coding
+// estimator. All methods are safe for concurrent use.
+type Service struct {
+	opts  Options
+	reg   *Registry
+	cache *Cache
+	sched *Scheduler
+	start time.Time
+
+	estimates       atomic.Uint64 // estimations actually computed
+	batches         atomic.Uint64
+	coloringsShared atomic.Uint64 // batch jobs that reused another job's colorings
+}
+
+// New starts a service. Close releases its workers.
+func New(opts Options) *Service {
+	opts = opts.withDefaults()
+	return &Service{
+		opts:  opts,
+		reg:   NewRegistry(opts.GraphBudgetBytes),
+		cache: NewCache(opts.CacheCapacity),
+		sched: NewScheduler(opts.Workers, opts.QueueDepth),
+		start: time.Now(),
+	}
+}
+
+// Close stops the worker pool after draining queued jobs.
+func (s *Service) Close() { s.sched.Close() }
+
+// Registry exposes the graph registry (for registration and listings).
+func (s *Service) Registry() *Registry { return s.reg }
+
+// Cache exposes the result cache (for stats and tests).
+func (s *Service) Cache() *Cache { return s.cache }
+
+// AddGraph registers the graph described by spec and returns its listing
+// entry. The handle is released immediately: registration pins nothing,
+// it only loads (or re-resolves) the graph. Specs arrive from untrusted
+// requests, so Path is resolved inside Options.GraphDir (or rejected when
+// none is configured) and the file must fit the registry budget — unlike
+// Registry.Add, which trusts its caller.
+func (s *Service) AddGraph(spec GraphSpec) (GraphInfo, error) {
+	if spec.Path != "" {
+		p, err := s.resolveGraphPath(spec.Path)
+		if err != nil {
+			return GraphInfo{}, err
+		}
+		spec.Path = p
+	}
+	h, err := s.reg.Add(spec)
+	if err != nil {
+		return GraphInfo{}, err
+	}
+	defer h.Release()
+	info, _ := s.reg.Info(h.ID())
+	return info, nil
+}
+
+// resolveGraphPath confines a request-supplied path to Options.GraphDir
+// and bounds the file size: parse errors echo file content, so without
+// the sandbox a request could read the first line of any server file, and
+// the registry budget only applies after a graph is resident.
+func (s *Service) resolveGraphPath(p string) (string, error) {
+	if s.opts.GraphDir == "" {
+		return "", fmt.Errorf("service: path-based graph loading is disabled (no graph dir configured)")
+	}
+	if filepath.IsAbs(p) {
+		return "", fmt.Errorf("service: graph path must be relative to the graph dir")
+	}
+	clean := filepath.Clean(p)
+	if clean == ".." || strings.HasPrefix(clean, ".."+string(filepath.Separator)) {
+		return "", fmt.Errorf("service: graph path escapes the graph dir")
+	}
+	// Resolve symlinks on both sides: a link inside the graph dir pointing
+	// elsewhere must not defeat the lexical confinement above.
+	root, err := filepath.EvalSymlinks(s.opts.GraphDir)
+	if err != nil {
+		return "", fmt.Errorf("service: graph dir: %w", err)
+	}
+	full, err := filepath.EvalSymlinks(filepath.Join(s.opts.GraphDir, clean))
+	if err != nil {
+		return "", fmt.Errorf("service: graph path: %w", err)
+	}
+	if full != root && !strings.HasPrefix(full, root+string(filepath.Separator)) {
+		return "", fmt.Errorf("service: graph path escapes the graph dir")
+	}
+	fi, err := os.Stat(full)
+	if err != nil {
+		return "", fmt.Errorf("service: graph path: %w", err)
+	}
+	if fi.IsDir() {
+		return "", fmt.Errorf("service: graph path %q is a directory", clean)
+	}
+	if fi.Size() > s.opts.GraphBudgetBytes {
+		return "", fmt.Errorf("service: graph file %q (%d bytes) exceeds the registry budget (%d)", clean, fi.Size(), s.opts.GraphBudgetBytes)
+	}
+	return full, nil
+}
+
+// EstimateRequest is one estimation job.
+type EstimateRequest struct {
+	// Graph is the registry id or name of an already-registered graph.
+	Graph string `json:"graph,omitempty"`
+	// Query names a catalog or parametric query (see subgraph.QueryByName);
+	// alternatively QueryEdges gives an explicit edge list over nodes
+	// 0..k-1, with QueryName as optional display name.
+	Query      string   `json:"query,omitempty"`
+	QueryEdges [][2]int `json:"queryEdges,omitempty"`
+	QueryName  string   `json:"queryName,omitempty"`
+
+	// Algorithm is "DB" (default), "PS", or "PSEven".
+	Algorithm string `json:"algorithm,omitempty"`
+	// Trials is the number of independent colorings (≤ 0 means the service
+	// default, itself defaulting to 3).
+	Trials int `json:"trials,omitempty"`
+	// Seed feeds the coloring RNG; equal seeds give bit-identical results.
+	Seed int64 `json:"seed,omitempty"`
+	// Ranks is the simulated engine rank count (≤ 0 means the service
+	// default, itself defaulting to 4).
+	Ranks int `json:"ranks,omitempty"`
+	// Parallel runs up to this many trials concurrently inside the job;
+	// results are bit-identical to serial (≤ 1 means serial).
+	Parallel int `json:"parallel,omitempty"`
+	// Priority orders queued jobs; higher runs first.
+	Priority int `json:"priority,omitempty"`
+	// TimeoutMS bounds the job, queue time included; 0 means the service
+	// default.
+	TimeoutMS int64 `json:"timeoutMs,omitempty"`
+	// NoCache skips the result cache lookup (the result is still stored).
+	NoCache bool `json:"noCache,omitempty"`
+}
+
+// EstimateResult is one finished estimation.
+type EstimateResult struct {
+	Estimate coloring.Estimate
+	Cached   bool
+	Elapsed  time.Duration
+}
+
+// ParseAlgorithm maps the wire name to a core.Algorithm ("" means DB).
+func ParseAlgorithm(name string) (core.Algorithm, error) {
+	switch name {
+	case "", "DB", "db":
+		return core.DB, nil
+	case "PS", "ps":
+		return core.PS, nil
+	case "PSEven", "pseven":
+		return core.PSEven, nil
+	}
+	return core.DB, fmt.Errorf("service: unknown algorithm %q (want DB, PS, or PSEven)", name)
+}
+
+// maxQueryK mirrors the solver's own query size limit (decomp and core
+// reject K > 16). Enforcing it here means oversized queries are rejected
+// at request time, before a worker slot is taken and trials×n bytes of
+// colorings are drawn for a job that can only fail.
+const maxQueryK = 16
+
+// buildQuery resolves the request's query: a catalog/parametric name, or
+// an explicit edge list. Both are untrusted: edge lists go through the
+// checked constructor with the solver's node bound (so a hostile request
+// cannot force a huge k×k adjacency allocation), and resolved queries of
+// any provenance are size-checked here rather than deep inside a job.
+func buildQuery(req EstimateRequest) (*query.Graph, error) {
+	var (
+		q   *query.Graph
+		err error
+	)
+	if len(req.QueryEdges) == 0 {
+		if req.Query == "" {
+			return nil, fmt.Errorf("service: request needs query or queryEdges")
+		}
+		q, err = query.ByName(req.Query)
+	} else {
+		name := req.QueryName
+		if name == "" {
+			name = "custom"
+		}
+		q, err = query.FromEdgesChecked(name, req.QueryEdges, maxQueryK-1)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if q.K > maxQueryK {
+		return nil, fmt.Errorf("service: query %s has %d nodes; the solver supports at most %d", q.Name, q.K, maxQueryK)
+	}
+	return q, nil
+}
+
+func (s *Service) normalize(req EstimateRequest) (EstimateRequest, error) {
+	if req.Trials <= 0 {
+		req.Trials = s.opts.DefaultTrials
+	}
+	if req.Trials > s.opts.MaxTrials {
+		return req, fmt.Errorf("service: trials %d exceeds server limit %d", req.Trials, s.opts.MaxTrials)
+	}
+	if req.Ranks <= 0 {
+		req.Ranks = s.opts.DefaultRanks
+	}
+	if req.Ranks > s.opts.MaxRanks {
+		return req, fmt.Errorf("service: ranks %d exceeds server limit %d", req.Ranks, s.opts.MaxRanks)
+	}
+	// Parallel multiplies per-job memory (one simulated cluster per
+	// concurrent trial) without changing results, so clamp rather than
+	// reject: the request stays valid, the blast radius stays bounded.
+	if req.Parallel > maxParallelPerJob {
+		req.Parallel = maxParallelPerJob
+	}
+	return req, nil
+}
+
+// maxParallelPerJob caps intra-job trial concurrency; cross-job
+// concurrency is already bounded by the worker pool.
+const maxParallelPerJob = 16
+
+func (s *Service) jobContext(ctx context.Context, req EstimateRequest) (context.Context, context.CancelFunc) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	timeout := s.opts.DefaultTimeout
+	if req.TimeoutMS > 0 {
+		timeout = time.Duration(req.TimeoutMS) * time.Millisecond
+	}
+	if timeout > 0 {
+		return context.WithTimeout(ctx, timeout)
+	}
+	return ctx, func() {}
+}
+
+// key builds the cache key for a normalized request.
+func (s *Service) key(fp uint64, q *query.Graph, alg core.Algorithm, req EstimateRequest) Key {
+	return Key{
+		Graph:     fp,
+		Query:     QuerySignature(q),
+		Algorithm: alg,
+		Trials:    req.Trials,
+		Seed:      req.Seed,
+		Ranks:     req.Ranks,
+	}
+}
+
+// run executes one estimation with the given (possibly shared) colorings
+// and stores the result in the cache. It is the only place estimates are
+// computed, so cached and fresh results are bit-identical by construction:
+// the path below — Draw + RunWith — is exactly coloring.Run, which is
+// exactly subgraph.Estimate.
+func (s *Service) run(h *Handle, q *query.Graph, alg core.Algorithm, req EstimateRequest, key Key, colorings [][]uint8) (coloring.Estimate, error) {
+	if colorings == nil {
+		colorings = coloring.Draw(h.Graph().N(), q.K, req.Trials, req.Seed)
+	}
+	est, err := coloring.RunWith(h.Graph(), q, colorings, coloring.Options{
+		Parallel: req.Parallel,
+		Core: core.Options{
+			Algorithm: alg,
+			Workers:   req.Ranks,
+		},
+	})
+	if err != nil {
+		return coloring.Estimate{}, err
+	}
+	s.estimates.Add(1)
+	s.cache.Put(key, est)
+	return est, nil
+}
+
+// Estimate runs (or replays from cache) one estimation. It blocks until
+// the scheduled job finishes or ctx / the request timeout fires.
+func (s *Service) Estimate(ctx context.Context, req EstimateRequest) (EstimateResult, error) {
+	start := time.Now()
+	req, err := s.normalize(req)
+	if err != nil {
+		return EstimateResult{}, err
+	}
+	alg, err := ParseAlgorithm(req.Algorithm)
+	if err != nil {
+		return EstimateResult{}, err
+	}
+	q, err := buildQuery(req)
+	if err != nil {
+		return EstimateResult{}, err
+	}
+	h, ok := s.reg.Acquire(req.Graph)
+	if !ok {
+		return EstimateResult{}, fmt.Errorf("%w %q (register it first)", ErrUnknownGraph, req.Graph)
+	}
+	defer h.Release()
+
+	key := s.key(h.Fingerprint(), q, alg, req)
+	if !req.NoCache {
+		if est, ok := s.cache.Get(key); ok {
+			relabel(&est, q.Name, h.Graph().Name)
+			return EstimateResult{Estimate: est, Cached: true, Elapsed: time.Since(start)}, nil
+		}
+	}
+
+	jctx, cancel := s.jobContext(ctx, req)
+	defer cancel()
+	// The job holds its own lease: if our wait is cut short by ctx, the
+	// job may still be queued or running, and its graph must not be
+	// evicted out from under it.
+	jh := s.reg.dup(h)
+	var est coloring.Estimate
+	job, err := s.sched.SubmitJob(jctx, req.Priority, func(context.Context) error {
+		var err error
+		est, err = s.run(jh, q, alg, req, key, nil)
+		return err
+	}, jh.Release)
+	if err != nil {
+		jh.Release()
+		return EstimateResult{}, err
+	}
+	if err := job.Wait(); err != nil {
+		return EstimateResult{}, err
+	}
+	return EstimateResult{Estimate: est, Elapsed: time.Since(start)}, nil
+}
+
+// BatchRequest fans one graph and many queries out across the worker
+// pool. Per-query fields left zero inherit the batch-level defaults —
+// which means a zero per-query value (seed 0, priority 0) cannot
+// override a non-zero batch default; leave the batch field unset, or
+// send that query as a standalone estimate, to run at the zero value.
+type BatchRequest struct {
+	Graph     string            `json:"graph"`
+	Algorithm string            `json:"algorithm,omitempty"`
+	Trials    int               `json:"trials,omitempty"`
+	Seed      int64             `json:"seed,omitempty"`
+	Ranks     int               `json:"ranks,omitempty"`
+	Priority  int               `json:"priority,omitempty"`
+	TimeoutMS int64             `json:"timeoutMs,omitempty"`
+	NoCache   bool              `json:"noCache,omitempty"`
+	Queries   []EstimateRequest `json:"queries"`
+}
+
+// BatchItem is one query's outcome within a batch.
+type BatchItem struct {
+	Query  string
+	Result EstimateResult
+	Err    error
+}
+
+// label names a batch item for error attribution even when the request
+// failed before a query graph existed: catalog name, else the explicit
+// queryName, else the item's position.
+func label(req EstimateRequest, i int) string {
+	switch {
+	case req.Query != "":
+		return req.Query
+	case req.QueryName != "":
+		return req.QueryName
+	default:
+		return fmt.Sprintf("#%d", i)
+	}
+}
+
+// relabel stamps the requester's own display names onto a cache-hit
+// estimate: the cache key deliberately ignores names (same topology, same
+// knobs → one entry), so without this a hit would replay whatever names
+// the first requester used.
+func relabel(est *coloring.Estimate, queryName, graphName string) {
+	est.Query = queryName
+	est.Graph = graphName
+}
+
+// colorGroup lazily draws one set of colorings shared by every batch job
+// with the same (k, trials, seed): the colorings subgraph.Estimate would
+// draw depend only on those values (and the graph's vertex count), so jobs
+// whose seeds align reuse one draw instead of redrawing per query.
+type colorGroup struct {
+	once sync.Once
+	cs   [][]uint8
+}
+
+func (cg *colorGroup) colorings(n, k, trials int, seed int64) [][]uint8 {
+	cg.once.Do(func() { cg.cs = coloring.Draw(n, k, trials, seed) })
+	return cg.cs
+}
+
+// EstimateBatch resolves the batch's graph once and schedules every
+// non-cached query as its own job, so a batch of N queries occupies up to
+// N workers concurrently. Results keep the request order; per-item errors
+// do not fail the batch (a batch-level error means nothing ran).
+func (s *Service) EstimateBatch(ctx context.Context, breq BatchRequest) ([]BatchItem, error) {
+	if len(breq.Queries) == 0 {
+		return nil, fmt.Errorf("service: batch has no queries")
+	}
+	h, ok := s.reg.Acquire(breq.Graph)
+	if !ok {
+		return nil, fmt.Errorf("%w %q (register it first)", ErrUnknownGraph, breq.Graph)
+	}
+	defer h.Release()
+	s.batches.Add(1)
+
+	items := make([]BatchItem, len(breq.Queries))
+	type pendingJob struct {
+		i     int
+		job   *Job
+		est   *coloring.Estimate
+		start time.Time
+	}
+	var pending []pendingJob
+	type groupKey struct {
+		k, trials int
+		seed      int64
+	}
+	groups := make(map[groupKey]*colorGroup)
+	for i, qreq := range breq.Queries {
+		start := time.Now()
+		if qreq.Graph != "" && qreq.Graph != breq.Graph {
+			// Honoring a per-query graph would need its own registry
+			// lookup; silently computing against the batch graph instead
+			// would be a wrong answer without an error.
+			items[i] = BatchItem{Query: label(qreq, i),
+				Err: fmt.Errorf("service: batch query %d names graph %q; batches run against one graph (%q)", i, qreq.Graph, breq.Graph)}
+			continue
+		}
+		qreq.Graph = breq.Graph
+		if qreq.Algorithm == "" {
+			qreq.Algorithm = breq.Algorithm
+		}
+		if qreq.Trials <= 0 {
+			qreq.Trials = breq.Trials
+		}
+		if qreq.Seed == 0 {
+			qreq.Seed = breq.Seed
+		}
+		if qreq.Ranks <= 0 {
+			qreq.Ranks = breq.Ranks
+		}
+		if qreq.Priority == 0 {
+			qreq.Priority = breq.Priority
+		}
+		if qreq.TimeoutMS <= 0 {
+			qreq.TimeoutMS = breq.TimeoutMS
+		}
+		qreq.NoCache = qreq.NoCache || breq.NoCache
+		qreq, err := s.normalize(qreq)
+		if err != nil {
+			items[i] = BatchItem{Query: label(qreq, i), Err: err}
+			continue
+		}
+		alg, err := ParseAlgorithm(qreq.Algorithm)
+		if err != nil {
+			items[i] = BatchItem{Query: label(qreq, i), Err: err}
+			continue
+		}
+		q, err := buildQuery(qreq)
+		if err != nil {
+			items[i] = BatchItem{Query: label(qreq, i), Err: err}
+			continue
+		}
+		items[i].Query = q.Name
+		key := s.key(h.Fingerprint(), q, alg, qreq)
+		if !qreq.NoCache {
+			if est, ok := s.cache.Get(key); ok {
+				relabel(&est, q.Name, h.Graph().Name)
+				items[i].Result = EstimateResult{Estimate: est, Cached: true, Elapsed: time.Since(start)}
+				continue
+			}
+		}
+		grp, seen := groups[groupKey{k: q.K, trials: qreq.Trials, seed: qreq.Seed}]
+		if !seen {
+			grp = &colorGroup{}
+			groups[groupKey{k: q.K, trials: qreq.Trials, seed: qreq.Seed}] = grp
+		} else {
+			s.coloringsShared.Add(1)
+		}
+
+		jctx, cancel := s.jobContext(ctx, qreq)
+		defer cancel()
+		jh := s.reg.dup(h)
+		est := new(coloring.Estimate)
+		job, err := s.sched.SubmitJob(jctx, qreq.Priority, func(context.Context) error {
+			cs := grp.colorings(jh.Graph().N(), q.K, qreq.Trials, qreq.Seed)
+			e, err := s.run(jh, q, alg, qreq, key, cs)
+			if err != nil {
+				return err
+			}
+			*est = e
+			return nil
+		}, jh.Release)
+		if err != nil {
+			jh.Release()
+			items[i] = BatchItem{Query: q.Name, Err: err}
+			continue
+		}
+		pending = append(pending, pendingJob{i: i, job: job, est: est, start: start})
+	}
+	for _, p := range pending {
+		if err := p.job.Wait(); err != nil {
+			items[p.i].Err = err
+			continue
+		}
+		items[p.i].Result = EstimateResult{Estimate: *p.est, Elapsed: time.Since(p.start)}
+	}
+	return items, nil
+}
+
+// Stats is the service-wide observability snapshot.
+type Stats struct {
+	UptimeSeconds   float64        `json:"uptimeSeconds"`
+	Estimates       uint64         `json:"estimates"`
+	Batches         uint64         `json:"batches"`
+	ColoringsShared uint64         `json:"coloringsShared"`
+	Registry        RegistryStats  `json:"registry"`
+	Cache           CacheStats     `json:"cache"`
+	Scheduler       SchedulerStats `json:"scheduler"`
+}
+
+// Stats returns the current counters of every layer.
+func (s *Service) Stats() Stats {
+	return Stats{
+		UptimeSeconds:   time.Since(s.start).Seconds(),
+		Estimates:       s.estimates.Load(),
+		Batches:         s.batches.Load(),
+		ColoringsShared: s.coloringsShared.Load(),
+		Registry:        s.reg.Stats(),
+		Cache:           s.cache.Stats(),
+		Scheduler:       s.sched.Stats(),
+	}
+}

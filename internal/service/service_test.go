@@ -1,0 +1,88 @@
+package service_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	subgraph "repro"
+)
+
+// TestPathLoadingSandbox covers the GraphDir confinement: disabled by
+// default, traversal and absolute paths rejected, legitimate files under
+// the configured directory loadable.
+func TestPathLoadingSandbox(t *testing.T) {
+	// Disabled by default.
+	closed := subgraph.NewService(subgraph.ServiceOptions{Workers: 1})
+	t.Cleanup(closed.Close)
+	if _, err := closed.AddGraph(subgraph.GraphSpec{Path: "x.edges"}); err == nil ||
+		!strings.Contains(err.Error(), "disabled") {
+		t.Fatalf("path loading without GraphDir: err = %v, want disabled error", err)
+	}
+
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "tri.edges"), []byte("0 1\n1 2\n2 0\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	secret := filepath.Join(t.TempDir(), "secret.txt")
+	if err := os.WriteFile(secret, []byte("top secret\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	svc := subgraph.NewService(subgraph.ServiceOptions{Workers: 1, GraphDir: dir})
+	t.Cleanup(svc.Close)
+
+	info, err := svc.AddGraph(subgraph.GraphSpec{Path: "tri.edges", Name: "tri"})
+	if err != nil {
+		t.Fatalf("loading a file inside GraphDir: %v", err)
+	}
+	if info.Nodes != 3 || info.Edges != 3 {
+		t.Errorf("loaded graph = %+v, want 3 nodes / 3 edges", info)
+	}
+
+	for _, p := range []string{
+		secret,                        // absolute
+		"../" + filepath.Base(secret), // traversal
+		"..",
+	} {
+		if _, err := svc.AddGraph(subgraph.GraphSpec{Path: p}); err == nil {
+			t.Errorf("path %q escaped the sandbox", p)
+		} else if strings.Contains(err.Error(), "top secret") {
+			t.Errorf("path %q error leaks file content: %v", p, err)
+		}
+	}
+
+	if _, err := svc.AddGraph(subgraph.GraphSpec{Path: "missing.edges"}); err == nil {
+		t.Error("missing file accepted")
+	}
+
+	// A symlink inside GraphDir pointing outside must not defeat the
+	// confinement.
+	if err := os.Symlink(filepath.Dir(secret), filepath.Join(dir, "out")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.AddGraph(subgraph.GraphSpec{Path: "out/secret.txt"}); err == nil {
+		t.Error("symlink escaped the sandbox")
+	} else if strings.Contains(err.Error(), "top secret") {
+		t.Errorf("symlink escape error leaks file content: %v", err)
+	}
+}
+
+// TestPathLoadingSizeBound rejects files larger than the registry budget
+// before reading them.
+func TestPathLoadingSizeBound(t *testing.T) {
+	dir := t.TempDir()
+	big := strings.Repeat("0 1\n", 1024)
+	if err := os.WriteFile(filepath.Join(dir, "big.edges"), []byte(big), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	svc := subgraph.NewService(subgraph.ServiceOptions{
+		Workers: 1, GraphDir: dir, GraphBudgetBytes: 1024,
+	})
+	t.Cleanup(svc.Close)
+	if _, err := svc.AddGraph(subgraph.GraphSpec{Path: "big.edges"}); err == nil ||
+		!strings.Contains(err.Error(), "exceeds the registry budget") {
+		t.Fatalf("oversized file: err = %v, want budget error", err)
+	}
+}

@@ -1,0 +1,26 @@
+package subgraph
+
+import "repro/internal/service"
+
+// The serving layer: a long-running Service amortizes graph loading (a
+// reference-counted, LRU-evicted registry), whole estimations (an LRU
+// result cache keyed by graph fingerprint + query signature + estimation
+// knobs), and concurrency (a bounded priority-scheduled worker pool) over
+// Estimate. cmd/sgserve exposes it over HTTP; embed it directly via
+// NewService for in-process use.
+type (
+	Service         = service.Service
+	ServiceOptions  = service.Options
+	ServiceStats    = service.Stats
+	GraphSpec       = service.GraphSpec
+	GraphInfo       = service.GraphInfo
+	EstimateRequest = service.EstimateRequest
+	EstimateResult  = service.EstimateResult
+	BatchRequest    = service.BatchRequest
+	BatchItem       = service.BatchItem
+)
+
+// NewService starts an estimation service. Close it when done; results it
+// computes are bit-identical to direct Estimate calls with the same
+// algorithm, trials, and seed.
+func NewService(opts ServiceOptions) *Service { return service.New(opts) }
