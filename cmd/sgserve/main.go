@@ -14,6 +14,14 @@
 //	curl -s localhost:8080/v1/batch -d '{"graph":"demo","seed":1,"queries":[{"query":"glet1"},{"query":"brain1"}]}'
 //	curl -s localhost:8080/v1/stats
 //
+// Long estimates run as async jobs instead of holding the connection
+// open — submit, poll (or long-poll), fetch the result, cancel:
+//
+//	curl -s localhost:8080/v1/jobs -d '{"graph":"demo","query":"brain1","trials":50,"seed":1}'
+//	curl -s localhost:8080/v1/jobs/j1?wait=2s
+//	curl -s localhost:8080/v1/jobs/j1/result
+//	curl -s -X DELETE localhost:8080/v1/jobs/j1
+//
 // SIGINT/SIGTERM shut down gracefully: in-flight requests finish, the
 // worker pool drains, then the listener closes.
 package main
@@ -44,6 +52,8 @@ func main() {
 		maxRk    = flag.Int("max-ranks", 256, "reject requests asking for more simulated ranks than this")
 		ranks    = flag.Int("ranks", 4, "default simulated engine ranks per estimate")
 		timeout  = flag.Duration("timeout", 0, "default per-job deadline (0 = none)")
+		jobTTL   = flag.Duration("job-ttl", 10*time.Minute, "how long finished jobs stay fetchable via /v1/jobs")
+		maxJobs  = flag.Int("max-jobs", 4096, "max finished jobs retained before the oldest are dropped")
 		grace    = flag.Duration("grace", 10*time.Second, "graceful shutdown grace period")
 		graphDir = flag.String("graph-dir", "", "allow loading edge-list graphs from this directory (empty = path loading disabled)")
 		preload  = flag.String("preload", "", "comma-separated stand-in graphs to register at startup")
@@ -63,6 +73,8 @@ func main() {
 		MaxRanks:         *maxRk,
 		DefaultTimeout:   *timeout,
 		GraphDir:         *graphDir,
+		JobTTL:           *jobTTL,
+		MaxJobs:          *maxJobs,
 	})
 
 	for _, name := range strings.Split(*preload, ",") {

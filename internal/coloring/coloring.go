@@ -5,6 +5,7 @@
 package coloring
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -44,6 +45,11 @@ type Options struct {
 	// simulated cluster). Colorings are pre-drawn sequentially from Seed,
 	// so results are identical to the serial run. ≤ 1 means serial.
 	Parallel int
+	// Progress, when non-nil, is called after each completed trial with the
+	// number of finished trials so far and the total. Calls arrive from
+	// trial goroutines (concurrently when Parallel > 1) and must be cheap
+	// and non-blocking; done values are unique but not ordered.
+	Progress func(done, total int)
 }
 
 // Estimate is the result of a multi-trial color-coding estimation.
@@ -92,7 +98,14 @@ func Draw(n, k, trials int, seed int64) [][]uint8 {
 // Run estimates the number of matches of q in g by repeated colorful
 // counting under independent random colorings.
 func Run(g *graph.Graph, q *query.Graph, opts Options) (Estimate, error) {
-	return RunWith(g, q, Draw(g.N(), q.K, opts.Trials, opts.Seed), opts)
+	return RunContext(context.Background(), g, q, opts)
+}
+
+// RunContext is Run bounded by ctx: a canceled or deadline-expired run
+// stops mid-trial (the solver polls ctx inside its worker loops) and
+// returns ctx's error.
+func RunContext(ctx context.Context, g *graph.Graph, q *query.Graph, opts Options) (Estimate, error) {
+	return RunWithContext(ctx, g, q, Draw(g.N(), q.K, opts.Trials, opts.Seed), opts)
 }
 
 // RunWith is Run with the colorings supplied by the caller, one per trial
@@ -101,6 +114,14 @@ func Run(g *graph.Graph, q *query.Graph, opts Options) (Estimate, error) {
 // bit-for-bit identical to Run. A non-zero opts.Trials that disagrees
 // with len(colorings) is an error rather than a silent precision change.
 func RunWith(g *graph.Graph, q *query.Graph, colorings [][]uint8, opts Options) (Estimate, error) {
+	return RunWithContext(context.Background(), g, q, colorings, opts)
+}
+
+// RunWithContext is RunWith bounded by ctx (see RunContext).
+func RunWithContext(ctx context.Context, g *graph.Graph, q *query.Graph, colorings [][]uint8, opts Options) (Estimate, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	trials := len(colorings)
 	if trials == 0 {
 		return Estimate{}, fmt.Errorf("coloring: no colorings supplied")
@@ -137,6 +158,7 @@ func RunWith(g *graph.Graph, q *query.Graph, colorings [][]uint8, opts Options) 
 		mu       sync.Mutex
 		firstErr error
 		next     atomic.Int64
+		finished atomic.Int64
 	)
 	stats := make([]core.Stats, trials)
 	wg.Add(parallel)
@@ -148,7 +170,17 @@ func RunWith(g *graph.Graph, q *query.Graph, colorings [][]uint8, opts Options) 
 				if i >= trials {
 					return
 				}
-				cnt, st, err := core.CountColorful(g, q, colorings[i], copts)
+				// Between trials a plain poll suffices; mid-trial the solver
+				// polls ctx itself via CountColorfulContext.
+				if err := ctx.Err(); err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+					return
+				}
+				cnt, st, err := core.CountColorfulContext(ctx, g, q, colorings[i], copts)
 				if err != nil {
 					mu.Lock()
 					if firstErr == nil {
@@ -159,6 +191,9 @@ func RunWith(g *graph.Graph, q *query.Graph, colorings [][]uint8, opts Options) 
 				}
 				est.Counts[i] = cnt
 				stats[i] = st
+				if opts.Progress != nil {
+					opts.Progress(int(finished.Add(1)), trials)
+				}
 			}
 		}()
 	}

@@ -1,8 +1,13 @@
 package coloring
 
 import (
+	"context"
+	"errors"
 	"math"
 	"math/rand"
+	"reflect"
+	"sync"
+	"sync/atomic"
 	"testing"
 
 	"repro/internal/core"
@@ -156,5 +161,81 @@ func TestParallelEdgeCases(t *testing.T) {
 	k4 := query.FromEdges("k4", 4, [][2]int{{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3}})
 	if _, err := Run(g, k4, Options{Trials: 4, Parallel: 2}); err == nil {
 		t.Fatal("error not propagated from parallel trial")
+	}
+}
+
+// TestRunContextMatchesRun: a live context changes nothing — bit-for-bit.
+func TestRunContextMatchesRun(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	g := gen.ErdosRenyi("er", 40, 160, rng)
+	q := query.MustByName("glet1")
+	opts := Options{Trials: 4, Seed: 9}
+	plain, err := Run(g, q, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctxed, err := RunContext(context.Background(), g, q, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(plain, ctxed) {
+		t.Errorf("RunContext differs from Run:\n%+v\n%+v", plain, ctxed)
+	}
+}
+
+// TestRunContextCancelBetweenTrials: a cancellation during a multi-trial
+// run surfaces context.Canceled instead of finishing the remaining
+// trials.
+func TestRunContextCancelBetweenTrials(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	g := gen.ErdosRenyi("er", 60, 240, rng)
+	q := query.MustByName("brain1")
+	ctx, cancel := context.WithCancel(context.Background())
+	var once sync.Once
+	_, err := RunContext(ctx, g, q, Options{
+		Trials: 64,
+		Progress: func(done, total int) {
+			// Cancel as soon as the first trial lands; the remaining 63
+			// must not run to completion.
+			once.Do(cancel)
+		},
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestRunProgressReporting: every trial reports exactly once and the
+// final done count equals the trial count, serial and parallel.
+func TestRunProgressReporting(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	g := gen.ErdosRenyi("er", 40, 160, rng)
+	q := query.MustByName("wiki")
+	for _, parallel := range []int{1, 4} {
+		var calls atomic.Int64
+		var max atomic.Int64
+		_, err := Run(g, q, Options{
+			Trials:   6,
+			Parallel: parallel,
+			Progress: func(done, total int) {
+				calls.Add(1)
+				if total != 6 {
+					t.Errorf("parallel=%d: total = %d, want 6", parallel, total)
+				}
+				for {
+					m := max.Load()
+					if int64(done) <= m || max.CompareAndSwap(m, int64(done)) {
+						break
+					}
+				}
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if calls.Load() != 6 || max.Load() != 6 {
+			t.Errorf("parallel=%d: %d progress calls, max done %d; want 6 and 6",
+				parallel, calls.Load(), max.Load())
+		}
 	}
 }

@@ -1,0 +1,86 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/gen"
+	"repro/internal/query"
+)
+
+// TestCountColorfulContextPreCanceled: an already-canceled context must
+// return before any counting work happens.
+func TestCountColorfulContextPreCanceled(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	g := gen.ErdosRenyi("er", 100, 400, rng)
+	q := query.MustByName("glet1")
+	colors := randColors(g.N(), q.K, rng)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, _, err := CountColorfulContext(ctx, g, q, colors, Options{})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestCountColorfulContextCancelMidRun: canceling a long count mid-run
+// must return context.Canceled promptly — within a small multiple of the
+// solver's cancel-check interval, not after finishing the remaining
+// blocks — and must free the workers (the function returning is exactly
+// that).
+func TestCountColorfulContextCancelMidRun(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	// brain1 on this graph runs for hundreds of milliseconds; the cancel
+	// lands mid-solve.
+	g := gen.PowerLawGraph("pl", 30000, 1.5, rng)
+	q := query.MustByName("brain1")
+	colors := randColors(g.N(), q.K, rand.New(rand.NewSource(3)))
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, _, err := CountColorfulContext(ctx, g, q, colors, Options{Workers: 4})
+		done <- err
+	}()
+	time.Sleep(100 * time.Millisecond)
+	cancel()
+	start := time.Now()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+		// The full run takes ~800ms serially; a canceled one must abort
+		// far faster. The bound is loose for slow CI machines while still
+		// proving the run did not finish its remaining work.
+		if freed := time.Since(start); freed > 2*time.Second {
+			t.Errorf("run kept burning %v after cancel", freed)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("canceled run never returned")
+	}
+}
+
+// TestCountColorfulContextMatchesPlain: threading a live (never-canceled)
+// context changes nothing about the count.
+func TestCountColorfulContextMatchesPlain(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	g := gen.ErdosRenyi("er", 80, 320, rng)
+	for _, name := range []string{"glet1", "brain1", "wiki"} {
+		q := query.MustByName(name)
+		colors := randColors(g.N(), q.K, rand.New(rand.NewSource(5)))
+		for _, alg := range []Algorithm{DB, PS} {
+			plain := count(t, g, q, colors, Options{Algorithm: alg})
+			got, _, err := CountColorfulContext(context.Background(), g, q, colors, Options{Algorithm: alg})
+			if err != nil {
+				t.Fatalf("%s/%v: %v", name, alg, err)
+			}
+			if got != plain {
+				t.Errorf("%s/%v: context count %d != plain %d", name, alg, got, plain)
+			}
+		}
+	}
+}

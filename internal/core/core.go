@@ -14,7 +14,9 @@
 package core
 
 import (
+	"context"
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/decomp"
 	"repro/internal/engine"
@@ -77,6 +79,20 @@ type Stats struct {
 // coloring (one color in [0, q.K) per data vertex). This is the inner
 // kernel of the color-coding estimator (§2).
 func CountColorful(g *graph.Graph, q *query.Graph, colors []uint8, opts Options) (uint64, Stats, error) {
+	return CountColorfulContext(context.Background(), g, q, colors, opts)
+}
+
+// CountColorfulContext is CountColorful bounded by ctx: the solver's
+// worker loops poll ctx every cancelInterval operations, so a canceled or
+// deadline-expired run stops mid-block instead of finishing the count. A
+// stopped run returns ctx's error and no count.
+func CountColorfulContext(ctx context.Context, g *graph.Graph, q *query.Graph, colors []uint8, opts Options) (uint64, Stats, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return 0, Stats{}, err
+	}
 	plan := opts.Plan
 	if plan == nil {
 		var err error
@@ -93,6 +109,7 @@ func CountColorful(g *graph.Graph, q *query.Graph, colors []uint8, opts Options)
 		workers = 4
 	}
 	s := &solver{
+		ctx:     ctx,
 		g:       g,
 		colors:  colors,
 		cl:      engine.NewCluster(workers, g.N()),
@@ -101,6 +118,9 @@ func CountColorful(g *graph.Graph, q *query.Graph, colors []uint8, opts Options)
 		grouped: make(map[groupKey][]map[uint32][]toEntry),
 	}
 	count := s.run(plan)
+	if err := ctx.Err(); err != nil {
+		return 0, Stats{}, err
+	}
 	max, avg, total := s.cl.LoadStats()
 	return count, Stats{
 		Workers:      s.cl.P(),
@@ -137,6 +157,8 @@ func validate(g *graph.Graph, q *query.Graph, colors []uint8, plan *decomp.Tree)
 // solver carries the per-run state: the block result tables and the cached
 // groupings of child tables used by joins.
 type solver struct {
+	ctx     context.Context
+	stop    atomic.Bool // latched ctx cancellation, visible to every worker
 	g       *graph.Graph
 	colors  []uint8
 	cl      *engine.Cluster
@@ -147,6 +169,41 @@ type solver struct {
 }
 
 func (s *solver) colorOf(v uint32) sig.Sig { return sig.Of(s.colors[v]) }
+
+// cancelInterval is how many inner-loop operations a worker performs
+// between context polls: frequent enough that a canceled run frees its
+// workers within milliseconds, rare enough that the poll (a counter mask
+// plus, every interval, an atomic load and a channel select) is invisible
+// next to the join work itself. Must be a power of two.
+const cancelInterval = 1 << 12
+
+// canceled is the worker-loop cancellation poll. Callers keep a per-loop
+// counter n and call canceled(&n) once per operation; every cancelInterval
+// operations it checks the latched stop flag and polls ctx, latching a
+// cancellation so every other worker's next poll sees it without touching
+// the context again.
+func (s *solver) canceled(n *int) bool {
+	*n++
+	if *n&(cancelInterval-1) != 0 {
+		return false
+	}
+	return s.aborted()
+}
+
+// aborted polls the run's context immediately (no counter); used between
+// blocks, splits, and path-building steps.
+func (s *solver) aborted() bool {
+	if s.stop.Load() {
+		return true
+	}
+	select {
+	case <-s.ctx.Done():
+		s.stop.Store(true)
+		return true
+	default:
+		return false
+	}
+}
 
 // track records a freshly built table's size for the stats.
 func (s *solver) track(t *engine.Sharded) *engine.Sharded {
@@ -160,6 +217,9 @@ func (s *solver) track(t *engine.Sharded) *engine.Sharded {
 func (s *solver) run(plan *decomp.Tree) uint64 {
 	var answer uint64
 	for _, b := range plan.Blocks {
+		if s.aborted() {
+			return 0
+		}
 		isRoot := b == plan.Root
 		switch b.Kind {
 		case decomp.LeafEdge:

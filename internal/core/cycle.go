@@ -41,6 +41,9 @@ type split struct {
 func (s *solver) solveCycle(b *decomp.Block) *engine.Sharded {
 	out := engine.NewSharded(s.cl)
 	for _, sp := range s.splits(b) {
+		if s.aborted() {
+			break
+		}
 		plus := s.buildPath(sp.plus)
 		minus := s.buildPath(sp.minus)
 		s.joinSplit(b, sp, plus, minus, out, nil)
@@ -53,6 +56,9 @@ func (s *solver) solveCycle(b *decomp.Block) *engine.Sharded {
 func (s *solver) solveRootCycle(b *decomp.Block) uint64 {
 	partial := make([]uint64, s.cl.P())
 	for _, sp := range s.splits(b) {
+		if s.aborted() {
+			break
+		}
 		plus := s.buildPath(sp.plus)
 		minus := s.buildPath(sp.minus)
 		s.joinSplit(b, sp, plus, minus, nil, partial)
@@ -87,8 +93,12 @@ func (s *solver) solveLeaf(b *decomp.Block) *engine.Sharded {
 	s.cl.Run(func(w int) {
 		sh := out.Shard(w)
 		var load int64
+		var poll int
 		walk.Shard(w).Iter(func(k table.Key, c uint64) bool {
 			load++
+			if s.canceled(&poll) {
+				return false
+			}
 			sh.Add(table.Unary(k.V, k.S), c)
 			return true
 		})
@@ -216,11 +226,15 @@ func (s *solver) joinSplit(b *decomp.Block, sp split, plus, minus *engine.Sharde
 			return true
 		})
 		var load int64
+		var poll int
 		var sum uint64
 		plus.Shard(w).Iter(func(kp table.Key, cp uint64) bool {
 			need := s.colorOf(kp.U).Union(s.colorOf(kp.V))
 			for _, e := range idx[uint64(kp.U)<<32|uint64(kp.V)] {
 				load++
+				if s.canceled(&poll) {
+					return false
+				}
 				if kp.S.Inter(e.k.S) != need {
 					continue
 				}

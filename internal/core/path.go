@@ -32,7 +32,9 @@ type pathSpec struct {
 	ordered  bool // DB: every added cycle vertex must rank below π(start)
 }
 
-// buildPath materializes the walk's projection table.
+// buildPath materializes the walk's projection table. A canceled run
+// stops between join steps (each step's own loops also poll mid-step) and
+// returns the partial table, which the caller discards.
 func (s *solver) buildPath(spec pathSpec) *engine.Sharded {
 	var cur *engine.Sharded
 	rest := spec.steps
@@ -46,6 +48,9 @@ func (s *solver) buildPath(spec pathSpec) *engine.Sharded {
 		rest = spec.steps[1:]
 	}
 	for _, st := range rest {
+		if s.aborted() {
+			return cur
+		}
 		cur = s.edgeJoin(cur, spec, st)
 		if st.nodeAnn != nil {
 			cur = s.nodeJoin(cur, st.nodeAnn)
@@ -72,10 +77,18 @@ func (s *solver) initEdge(spec pathSpec, st pathStep) *engine.Sharded {
 		s.cl.Exchange(func(w int, emit func(int, engine.Msg)) {
 			lo, hi := s.cl.Range(w)
 			var load int64
-			for u := lo; u < hi; u++ {
+			var poll int
+			// The inner break exits one neighbor scan with the poll counter
+			// mid-interval, so the outer loop reads the latched stop flag
+			// directly — a shared counter check here would realign only
+			// every cancelInterval neighbor ops, once per vertex.
+			for u := lo; u < hi && !s.stop.Load(); u++ {
 				cu := s.colors[u]
 				for _, v := range s.g.Neighbors(u) {
 					load++
+					if s.canceled(&poll) {
+						break
+					}
 					if spec.ordered && !s.g.Higher(u, v) {
 						continue
 					}
@@ -94,8 +107,12 @@ func (s *solver) initEdge(spec pathSpec, st pathStep) *engine.Sharded {
 	child := s.tables[st.edgeAnn]
 	s.cl.Exchange(func(w int, emit func(int, engine.Msg)) {
 		var load int64
+		var poll int
 		child.Shard(w).Iter(func(k table.Key, c uint64) bool {
 			load++
+			if s.canceled(&poll) {
+				return false
+			}
 			from, to := k.U, k.V
 			if !st.edgeFromFirst {
 				from, to = to, from
@@ -137,9 +154,13 @@ func (s *solver) edgeJoin(cur *engine.Sharded, spec pathSpec, st pathStep) *engi
 	if st.edgeAnn == nil {
 		s.cl.Exchange(func(w int, emit func(int, engine.Msg)) {
 			var load int64
+			var poll int
 			cur.Shard(w).Iter(func(k table.Key, c uint64) bool {
 				for _, nb := range s.g.Neighbors(k.V) {
 					load++
+					if s.canceled(&poll) {
+						return false
+					}
 					if spec.ordered && !s.g.Higher(k.U, nb) {
 						continue
 					}
@@ -160,10 +181,14 @@ func (s *solver) edgeJoin(cur *engine.Sharded, spec pathSpec, st pathStep) *engi
 	grouped := s.groupBinary(st.edgeAnn, st.edgeFromFirst)
 	s.cl.Exchange(func(w int, emit func(int, engine.Msg)) {
 		var load int64
+		var poll int
 		idx := grouped[w]
 		cur.Shard(w).Iter(func(k table.Key, c uint64) bool {
 			for _, e := range idx[k.V] {
 				load++
+				if s.canceled(&poll) {
+					return false
+				}
 				if spec.ordered && !s.g.Higher(k.U, e.to) {
 					continue
 				}
@@ -195,10 +220,14 @@ func (s *solver) nodeJoin(cur *engine.Sharded, ann *decomp.Block) *engine.Sharde
 			return true
 		})
 		var load int64
+		var poll int
 		sh := out.Shard(w)
 		cur.Shard(w).Iter(func(k table.Key, c uint64) bool {
 			for _, e := range idx[k.V] {
 				load++
+				if s.canceled(&poll) {
+					return false
+				}
 				if k.S.Inter(e.s) != s.colorOf(k.V) {
 					continue
 				}
@@ -243,7 +272,11 @@ func (s *solver) groupBinary(b *decomp.Block, fromFirst bool) []map[uint32][]toE
 		g[i] = make(map[uint32][]toEntry)
 	}
 	s.cl.Exchange(func(w int, emit func(int, engine.Msg)) {
+		var poll int
 		child.Shard(w).Iter(func(k table.Key, c uint64) bool {
+			if s.canceled(&poll) {
+				return false
+			}
 			from, to := k.U, k.V
 			if !fromFirst {
 				from, to = to, from

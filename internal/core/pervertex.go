@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/decomp"
@@ -48,6 +49,7 @@ func CountColorfulPerVertex(g *graph.Graph, q *query.Graph, colors []uint8, anch
 		workers = 4
 	}
 	s := &solver{
+		ctx:     context.Background(),
 		g:       g,
 		colors:  colors,
 		cl:      engine.NewCluster(workers, g.N()),

@@ -11,17 +11,24 @@ import (
 
 // Handler returns the service's HTTP API:
 //
-//	GET  /healthz      liveness probe
-//	GET  /v1/stats     counters of every layer (registry, cache, scheduler)
-//	POST /v1/graphs    register a graph (GraphSpec JSON) → GraphInfo
-//	GET  /v1/graphs    list registered graphs
-//	GET  /v1/graphs/X  one graph by id or name
-//	POST /v1/estimate  run one estimation (EstimateRequest JSON)
-//	POST /v1/batch     fan a BatchRequest's queries across the worker pool
+//	GET    /healthz             liveness probe
+//	GET    /v1/stats            counters of every layer (registry, cache, scheduler, jobs)
+//	POST   /v1/graphs           register a graph (GraphSpec JSON) → GraphInfo
+//	GET    /v1/graphs           list registered graphs
+//	GET    /v1/graphs/X         one graph by id or name
+//	POST   /v1/estimate         run one estimation synchronously (EstimateRequest JSON)
+//	POST   /v1/batch            fan a BatchRequest's queries across the worker pool
+//	POST   /v1/jobs             submit an estimation job (EstimateRequest JSON) → 202 JobInfo
+//	GET    /v1/jobs             list retained jobs, newest first
+//	GET    /v1/jobs/{id}        one job's state; ?wait=2s long-polls for completion
+//	GET    /v1/jobs/{id}/result a finished job's estimate (?wait= supported)
+//	DELETE /v1/jobs/{id}        cancel a queued or running job
 //
 // Estimate responses carry X-Cache: HIT|MISS and X-Elapsed-Ms headers; the
 // body is exactly the estimate, so a cache hit replays the original body
-// byte for byte.
+// byte for byte, and a job's result body is byte-identical to the
+// synchronous /v1/estimate body for the same request — both are served
+// from the same job path.
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -31,6 +38,11 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/graphs/{ref}", s.handleGetGraph)
 	mux.HandleFunc("POST /v1/estimate", s.handleEstimate)
 	mux.HandleFunc("POST /v1/batch", s.handleBatch)
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmitJob)
+	mux.HandleFunc("GET /v1/jobs", s.handleListJobs)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleGetJob)
+	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleJobResult)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancelJob)
 	return mux
 }
 
@@ -46,18 +58,32 @@ type errorBody struct {
 	Error string `json:"error"`
 }
 
+// StatusClientClosedRequest is nginx's 499: the client canceled the
+// request before the server finished it. Client disconnects get their own
+// status so load-shedding metrics (real 503s) aren't polluted by clients
+// giving up.
+const StatusClientClosedRequest = 499
+
 // writeError maps service errors to HTTP statuses: full queue → 503 (shed
-// load), deadline → 504, canceled client → 499 semantics via 503, unknown
-// graph → 404, anything else (malformed specs, bad queries) → 400.
+// load), deadline → 504, canceled client → 499, a canceled job's result →
+// 410 (the fetcher completed its request; the result is just gone),
+// unknown graph or job → 404, not-yet-finished job result → 409, anything
+// else (malformed specs, bad queries) → 400.
 func writeError(w http.ResponseWriter, err error) {
 	status := http.StatusBadRequest
 	switch {
-	case errors.Is(err, ErrQueueFull), errors.Is(err, ErrClosed), errors.Is(err, context.Canceled):
+	case errors.Is(err, ErrQueueFull), errors.Is(err, ErrClosed):
 		status = http.StatusServiceUnavailable
+	case errors.Is(err, ErrJobCanceled):
+		status = http.StatusGone
+	case errors.Is(err, context.Canceled):
+		status = StatusClientClosedRequest
 	case errors.Is(err, context.DeadlineExceeded):
 		status = http.StatusGatewayTimeout
-	case errors.Is(err, ErrUnknownGraph):
+	case errors.Is(err, ErrUnknownGraph), errors.Is(err, ErrUnknownJob):
 		status = http.StatusNotFound
+	case errors.Is(err, ErrJobNotDone):
+		status = http.StatusConflict
 	}
 	writeJSON(w, status, errorBody{Error: err.Error()})
 }
@@ -172,6 +198,101 @@ func (s *Service) handleBatch(w http.ResponseWriter, r *http.Request) {
 		"graph":   breq.Graph,
 		"results": body,
 	})
+}
+
+// maxLongPoll caps the ?wait= long-poll duration so a client cannot pin
+// a connection open indefinitely.
+const maxLongPoll = time.Minute
+
+// parseWait reads the optional ?wait= long-poll duration ("2s", "500ms").
+func parseWait(r *http.Request) (time.Duration, error) {
+	raw := r.URL.Query().Get("wait")
+	if raw == "" {
+		return 0, nil
+	}
+	d, err := time.ParseDuration(raw)
+	if err != nil {
+		return 0, fmt.Errorf("service: bad wait %q: %w", raw, err)
+	}
+	if d < 0 {
+		return 0, fmt.Errorf("service: bad wait %q: negative", raw)
+	}
+	if d > maxLongPoll {
+		d = maxLongPoll
+	}
+	return d, nil
+}
+
+func (s *Service) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
+	var req EstimateRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	info, err := s.SubmitEstimateJob(req)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	w.Header().Set("Location", "/v1/jobs/"+info.ID)
+	writeJSON(w, http.StatusAccepted, info)
+}
+
+func (s *Service) handleListJobs(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": s.Jobs()})
+}
+
+func (s *Service) handleGetJob(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	wait, err := parseWait(r)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	info, ok := s.WaitJob(r.Context(), id, wait)
+	if !ok {
+		writeError(w, fmt.Errorf("%w %q", ErrUnknownJob, id))
+		return
+	}
+	writeJSON(w, http.StatusOK, info)
+}
+
+// handleJobResult serves a finished job's estimate with the exact body
+// and headers of the synchronous /v1/estimate path.
+func (s *Service) handleJobResult(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	wait, err := parseWait(r)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	if wait > 0 {
+		if _, ok := s.WaitJob(r.Context(), id, wait); !ok {
+			writeError(w, fmt.Errorf("%w %q", ErrUnknownJob, id))
+			return
+		}
+	}
+	res, err := s.JobResult(id)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	if res.Cached {
+		w.Header().Set("X-Cache", "HIT")
+	} else {
+		w.Header().Set("X-Cache", "MISS")
+	}
+	w.Header().Set("X-Elapsed-Ms", fmt.Sprintf("%.3f", float64(res.Elapsed.Microseconds())/1000))
+	writeJSON(w, http.StatusOK, res.Estimate)
+}
+
+func (s *Service) handleCancelJob(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	info, ok := s.CancelJob(id)
+	if !ok {
+		writeError(w, fmt.Errorf("%w %q", ErrUnknownJob, id))
+		return
+	}
+	writeJSON(w, http.StatusOK, info)
 }
 
 // ListenAndServe runs the API on addr until ctx is canceled, then shuts

@@ -9,6 +9,7 @@ import (
 	"net/http/httptest"
 	"reflect"
 	"testing"
+	"time"
 
 	subgraph "repro"
 )
@@ -348,4 +349,169 @@ func joinComma(items []string) string {
 		out += s
 	}
 	return out
+}
+
+// do issues a bodyless request (GET/DELETE) and returns the raw response.
+func do(t *testing.T, ts *httptest.Server, method, path string) (status int, raw []byte, header http.Header) {
+	t.Helper()
+	req, err := http.NewRequest(method, ts.URL+path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err = io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, raw, resp.Header
+}
+
+// TestJobsHTTPLifecycle walks the async API end to end: submit (202 +
+// Location), long-poll to completion, list, fetch the result — whose body
+// must be byte-identical to the synchronous /v1/estimate body for the
+// same request — and observe that DELETE on a finished job changes
+// nothing.
+func TestJobsHTTPLifecycle(t *testing.T) {
+	ts, _ := newServer(t)
+	req := `{"graph":"bench","query":"glet1","trials":4,"seed":9}`
+
+	raw, header := post(t, ts, "/v1/jobs", req, http.StatusAccepted)
+	var job subgraph.JobInfo
+	if err := json.Unmarshal(raw, &job); err != nil {
+		t.Fatal(err)
+	}
+	if job.ID == "" || job.State.Terminal() && !job.Cached {
+		t.Fatalf("submitted job = %+v", job)
+	}
+	if loc := header.Get("Location"); loc != "/v1/jobs/"+job.ID {
+		t.Errorf("Location = %q, want /v1/jobs/%s", loc, job.ID)
+	}
+
+	// Long-poll until terminal.
+	deadline := time.Now().Add(30 * time.Second)
+	for !job.State.Terminal() {
+		if time.Now().After(deadline) {
+			t.Fatalf("job stuck: %+v", job)
+		}
+		status, raw, _ := do(t, ts, "GET", "/v1/jobs/"+job.ID+"?wait=1s")
+		if status != http.StatusOK {
+			t.Fatalf("poll status %d: %s", status, raw)
+		}
+		if err := json.Unmarshal(raw, &job); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if job.State != subgraph.JobDone {
+		t.Fatalf("job finished %s: %+v", job.State, job)
+	}
+	if job.Progress.TrialsDone != 4 || job.Progress.TrialsTotal != 4 {
+		t.Errorf("progress = %+v, want 4/4", job.Progress)
+	}
+	if job.FinishedAt == nil || job.ExpiresAt == nil {
+		t.Errorf("terminal job missing timestamps: %+v", job)
+	}
+
+	// The listing knows the job.
+	var listing struct {
+		Jobs []subgraph.JobInfo `json:"jobs"`
+	}
+	get(t, ts, "/v1/jobs", &listing)
+	found := false
+	for _, j := range listing.Jobs {
+		found = found || j.ID == job.ID
+	}
+	if !found {
+		t.Errorf("job %s missing from listing %+v", job.ID, listing.Jobs)
+	}
+
+	// Async result == sync body, byte for byte. The sync call replays the
+	// job's cached result, which the cache contract guarantees is the
+	// original bytes.
+	status, asyncBody, h := do(t, ts, "GET", "/v1/jobs/"+job.ID+"/result")
+	if status != http.StatusOK {
+		t.Fatalf("result status %d: %s", status, asyncBody)
+	}
+	if h.Get("X-Cache") != "MISS" {
+		t.Errorf("computed job result X-Cache = %q, want MISS", h.Get("X-Cache"))
+	}
+	syncBody, _ := post(t, ts, "/v1/estimate", req, http.StatusOK)
+	if !bytes.Equal(asyncBody, syncBody) {
+		t.Errorf("async result body differs from sync body:\nasync: %s\nsync:  %s", asyncBody, syncBody)
+	}
+
+	// DELETE on a done job: state unchanged, result still there.
+	status, raw, _ = do(t, ts, "DELETE", "/v1/jobs/"+job.ID)
+	if status != http.StatusOK {
+		t.Fatalf("delete done job status %d: %s", status, raw)
+	}
+	var after subgraph.JobInfo
+	if err := json.Unmarshal(raw, &after); err != nil {
+		t.Fatal(err)
+	}
+	if after.State != subgraph.JobDone {
+		t.Errorf("done job became %s after DELETE", after.State)
+	}
+	if status, _, _ := do(t, ts, "GET", "/v1/jobs/"+job.ID+"/result"); status != http.StatusOK {
+		t.Errorf("result gone after no-op DELETE: status %d", status)
+	}
+}
+
+// TestJobsHTTPErrors covers the jobs API's error statuses: unknown ids →
+// 404, unfinished result → 409, canceled job's result → 499 (client
+// cancel, distinct from the 503 shed-load path), bad wait → 400.
+func TestJobsHTTPErrors(t *testing.T) {
+	svc := subgraph.NewService(subgraph.ServiceOptions{Workers: 1})
+	t.Cleanup(svc.Close)
+	ts := httptest.NewServer(svc.Handler())
+	t.Cleanup(ts.Close)
+	post(t, ts, "/v1/graphs", `{"powerlaw":8000,"alpha":1.5,"seed":2,"name":"slowg"}`, http.StatusOK)
+
+	if status, _, _ := do(t, ts, "GET", "/v1/jobs/nope"); status != http.StatusNotFound {
+		t.Errorf("unknown job status %d, want 404", status)
+	}
+	if status, _, _ := do(t, ts, "GET", "/v1/jobs/nope/result"); status != http.StatusNotFound {
+		t.Errorf("unknown result status %d, want 404", status)
+	}
+	if status, _, _ := do(t, ts, "DELETE", "/v1/jobs/nope"); status != http.StatusNotFound {
+		t.Errorf("unknown delete status %d, want 404", status)
+	}
+	post(t, ts, "/v1/jobs", `{"graph":"nope","query":"glet1"}`, http.StatusNotFound)
+	post(t, ts, "/v1/jobs", `{"graph":"slowg","query":"nonesuch"}`, http.StatusBadRequest)
+
+	raw, _ := post(t, ts, "/v1/jobs",
+		`{"graph":"slowg","query":"brain3","trials":500,"seed":1}`, http.StatusAccepted)
+	var job subgraph.JobInfo
+	if err := json.Unmarshal(raw, &job); err != nil {
+		t.Fatal(err)
+	}
+
+	if status, _, _ := do(t, ts, "GET", "/v1/jobs/"+job.ID+"?wait=banana"); status != http.StatusBadRequest {
+		t.Errorf("bad wait status %d, want 400", status)
+	}
+	// Result of a queued/running job: 409, not a hang.
+	if status, _, _ := do(t, ts, "GET", "/v1/jobs/"+job.ID+"/result"); status != http.StatusConflict {
+		t.Errorf("unfinished result status %d, want 409", status)
+	}
+
+	// Cancel it; its result now reports the client cancel as 499.
+	status, raw, _ := do(t, ts, "DELETE", "/v1/jobs/"+job.ID)
+	if status != http.StatusOK {
+		t.Fatalf("delete status %d: %s", status, raw)
+	}
+	var canceled subgraph.JobInfo
+	if err := json.Unmarshal(raw, &canceled); err != nil {
+		t.Fatal(err)
+	}
+	if canceled.State != subgraph.JobCanceled {
+		t.Fatalf("state after DELETE = %s, want canceled", canceled.State)
+	}
+	// The fetcher completed its own request; the result is gone — 410,
+	// not the 499 reserved for the requester's own disconnect.
+	if status, _, _ := do(t, ts, "GET", "/v1/jobs/"+job.ID+"/result"); status != http.StatusGone {
+		t.Errorf("canceled result status %d, want 410", status)
+	}
 }

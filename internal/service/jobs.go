@@ -1,0 +1,497 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/coloring"
+)
+
+// ErrUnknownJob is returned when a request references a job id the
+// manager does not hold (never submitted, or expired out of retention).
+var ErrUnknownJob = errors.New("service: unknown job")
+
+// ErrJobNotDone is returned when a job's result is requested before the
+// job reached a terminal state.
+var ErrJobNotDone = errors.New("service: job not finished")
+
+// ErrJobCanceled is returned when a canceled job's result is requested:
+// the result is gone (410), which is distinct from the requester itself
+// disconnecting (499) — a client fetching another party's canceled job
+// completed its own request just fine.
+var ErrJobCanceled = errors.New("service: job canceled")
+
+// JobState is one job's lifecycle position.
+type JobState string
+
+const (
+	// JobQueued: submitted, waiting for a worker.
+	JobQueued JobState = "queued"
+	// JobRunning: a worker is computing the estimate.
+	JobRunning JobState = "running"
+	// JobDone: finished with a result (possibly replayed from the cache).
+	JobDone JobState = "done"
+	// JobFailed: finished with an error (bad run, or deadline expired).
+	JobFailed JobState = "failed"
+	// JobCanceled: canceled by the client before finishing.
+	JobCanceled JobState = "canceled"
+)
+
+// Terminal reports whether the state is final.
+func (st JobState) Terminal() bool {
+	return st == JobDone || st == JobFailed || st == JobCanceled
+}
+
+// JobProgress reports per-trial progress of a running estimation.
+type JobProgress struct {
+	TrialsDone  int `json:"trialsDone"`
+	TrialsTotal int `json:"trialsTotal"`
+}
+
+// JobInfo is the wire description of one job. The result itself is not
+// embedded: fetch it once the state is terminal, so the result body stays
+// byte-identical to the synchronous estimate body.
+type JobInfo struct {
+	ID    string   `json:"id"`
+	State JobState `json:"state"`
+	Graph string   `json:"graph"`
+	Query string   `json:"query"`
+	// Cached: the job was answered from the result cache at submit time.
+	Cached bool `json:"cached"`
+	// Coalesced: the job attached to an identical in-flight job instead of
+	// computing independently (singleflight).
+	Coalesced bool        `json:"coalesced"`
+	Progress  JobProgress `json:"progress"`
+	Error     string      `json:"error,omitempty"`
+	CreatedAt time.Time   `json:"createdAt"`
+	StartedAt *time.Time  `json:"startedAt,omitempty"`
+	// FinishedAt and ElapsedMS are set once the state is terminal;
+	// ExpiresAt is when the finished job falls out of retention.
+	FinishedAt *time.Time `json:"finishedAt,omitempty"`
+	ElapsedMS  float64    `json:"elapsedMs,omitempty"`
+	ExpiresAt  *time.Time `json:"expiresAt,omitempty"`
+}
+
+// flight is one scheduled computation, shared by every job whose cache
+// key matches (singleflight): the first cache-missing submission creates
+// the flight, identical concurrent submissions attach to it, and the
+// flight's context is canceled once every attached job has detached — so
+// one client giving up never kills another client's computation, and a
+// computation nobody waits for stops burning its worker.
+type flight struct {
+	key        Key
+	cancel     context.CancelFunc
+	jobs       []*job // attached waiters (guarded by jobManager.mu)
+	running    bool
+	finished   bool
+	trialsDone atomic.Int64 // per-trial progress from the coloring loop
+}
+
+// job is one submitted estimation with its own id and lifecycle. Several
+// jobs may share one flight; canceling a job only cancels the flight when
+// no other job remains attached.
+type job struct {
+	id          string
+	state       JobState
+	graphName   string
+	queryName   string
+	cached      bool
+	coalesced   bool
+	trialsTotal int
+	trialsDone  int // frozen at finalize; live jobs read the flight counter
+	created     time.Time
+	started     time.Time // zero until a worker picks the flight up
+	finished    time.Time // zero until terminal
+	expires     time.Time // terminal + TTL: when the job leaves retention
+	est         coloring.Estimate
+	err         error
+	fl          *flight       // nil for cache-replayed jobs
+	done        chan struct{} // closed exactly once, at the terminal transition
+	timer       *time.Timer   // per-job deadline watchdog
+}
+
+// JobsStats are the job manager's observability counters.
+type JobsStats struct {
+	Submitted uint64 `json:"submitted"`
+	Coalesced uint64 `json:"coalesced"`
+	Canceled  uint64 `json:"canceled"`
+	Expired   uint64 `json:"expired"`
+	Active    int    `json:"active"`   // queued or running
+	Retained  int    `json:"retained"` // all jobs still addressable by id
+}
+
+// jobManager tracks every job by id, the in-flight singleflight index,
+// and TTL'd retention of finished jobs.
+type jobManager struct {
+	mu        sync.Mutex
+	byID      map[string]*job
+	order     []*job // submission order: oldest first, for sweeps and listings
+	inflight  map[Key]*flight
+	nextID    uint64
+	ttl       time.Duration
+	maxJobs   int
+	terminal  int       // finished jobs currently retained
+	nextSweep time.Time // earliest time the next time-based sweep runs
+	sweepGap  time.Duration
+
+	submitted uint64
+	coalesced uint64
+	canceled  uint64
+	expired   uint64
+}
+
+func newJobManager(ttl time.Duration, maxJobs int) *jobManager {
+	gap := ttl / 4
+	if gap > time.Minute {
+		gap = time.Minute
+	}
+	if gap <= 0 {
+		gap = time.Minute
+	}
+	return &jobManager{
+		byID:     make(map[string]*job),
+		inflight: make(map[Key]*flight),
+		ttl:      ttl,
+		maxJobs:  maxJobs,
+		sweepGap: gap,
+	}
+}
+
+// registerLocked assigns the job its id and adds it to the index.
+func (m *jobManager) registerLocked(j *job) {
+	m.nextID++
+	j.id = fmt.Sprintf("j%d", m.nextID)
+	m.byID[j.id] = j
+	m.order = append(m.order, j)
+	m.submitted++
+	m.maybeSweepLocked(time.Now())
+}
+
+// maybeSweepLocked bounds sweep cost on the submission path: the full
+// O(retained) pass runs only when the retention cap is exceeded or the
+// time-based cadence (a fraction of the TTL) comes due — not on every
+// submission under the global mutex.
+func (m *jobManager) maybeSweepLocked(now time.Time) {
+	if m.terminal <= m.maxJobs && now.Before(m.nextSweep) {
+		return
+	}
+	m.sweepLocked(now)
+	m.nextSweep = now.Add(m.sweepGap)
+}
+
+// attachLocked wires a job onto a flight as one more waiter.
+func (m *jobManager) attachLocked(fl *flight, j *job) {
+	if len(fl.jobs) > 0 {
+		j.coalesced = true
+		m.coalesced++
+	}
+	j.fl = fl
+	fl.jobs = append(fl.jobs, j)
+	if fl.running {
+		j.state = JobRunning
+		j.started = time.Now()
+	}
+}
+
+// addCached registers a job that was answered from the result cache: it
+// is born done.
+func (m *jobManager) addCached(j *job, est coloring.Estimate) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.registerLocked(j)
+	j.cached = true
+	m.finalizeLocked(j, est, nil, time.Now())
+}
+
+// flightStarted marks the flight (and every job still queued on it)
+// running; called by the worker as it picks the flight up.
+func (m *jobManager) flightStarted(fl *flight) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if fl.finished {
+		return
+	}
+	fl.running = true
+	now := time.Now()
+	for _, j := range fl.jobs {
+		if j.state == JobQueued {
+			j.state = JobRunning
+			j.started = now
+		}
+	}
+}
+
+// finishFlight settles a flight exactly once: the first caller (the
+// worker's fn with the real outcome, or the scheduler's drop path with a
+// cancellation) wins, every still-attached job is finalized with it, and
+// the flight leaves the singleflight index.
+func (m *jobManager) finishFlight(fl *flight, est coloring.Estimate, err error) {
+	m.mu.Lock()
+	if fl.finished {
+		m.mu.Unlock()
+		return
+	}
+	fl.finished = true
+	if m.inflight[fl.key] == fl {
+		delete(m.inflight, fl.key)
+	}
+	now := time.Now()
+	for _, j := range fl.jobs {
+		if !j.state.Terminal() {
+			m.finalizeLocked(j, est, err, now)
+		}
+	}
+	fl.jobs = nil
+	m.mu.Unlock()
+	fl.cancel() // release the flight context's resources
+}
+
+// finalizeLocked moves a job to its terminal state and wakes waiters.
+func (m *jobManager) finalizeLocked(j *job, est coloring.Estimate, err error, now time.Time) {
+	m.terminal++
+	j.finished = now
+	j.expires = now.Add(m.ttl)
+	// Freeze progress: a canceled follower's snapshot must not keep
+	// advancing with the shared flight it detached from.
+	if j.fl != nil {
+		j.trialsDone = int(j.fl.trialsDone.Load())
+	}
+	if j.timer != nil {
+		j.timer.Stop()
+		j.timer = nil
+	}
+	switch {
+	case err == nil:
+		j.state = JobDone
+		j.trialsDone = j.trialsTotal
+		// Each job gets its own deep copy stamped with its own display
+		// names: coalesced jobs share one flight but not backing arrays,
+		// and a follower must not replay the owner's request names.
+		j.est = clone(est)
+		relabel(&j.est, j.queryName, j.graphName)
+	case errors.Is(err, context.Canceled):
+		j.state = JobCanceled
+		j.err = err
+	default:
+		j.state = JobFailed
+		j.err = err
+	}
+	close(j.done)
+}
+
+// detach finalizes one job early — client cancel (cause Canceled) or
+// per-job deadline (cause DeadlineExceeded) — without touching its
+// flight's other waiters. When the detaching job was the flight's last
+// waiter, the flight's context is canceled so the computation stops
+// mid-trial, and the flight leaves the singleflight index immediately so
+// new arrivals start fresh instead of attaching to a dying run. Reports
+// whether the job was still live.
+func (m *jobManager) detach(j *job, cause error) bool {
+	m.mu.Lock()
+	if j.state.Terminal() {
+		m.mu.Unlock()
+		return false
+	}
+	m.finalizeLocked(j, coloring.Estimate{}, cause, time.Now())
+	if errors.Is(cause, context.Canceled) {
+		m.canceled++
+	}
+	fl := j.fl
+	var cancelFlight bool
+	if fl != nil && !fl.finished {
+		live := fl.jobs[:0]
+		for _, w := range fl.jobs {
+			if w != j {
+				live = append(live, w)
+			}
+		}
+		fl.jobs = live
+		if len(live) == 0 {
+			cancelFlight = true
+			if m.inflight[fl.key] == fl {
+				delete(m.inflight, fl.key)
+			}
+		}
+	}
+	m.mu.Unlock()
+	if cancelFlight {
+		fl.cancel()
+	}
+	return true
+}
+
+// sweepLocked drops finished jobs past their TTL, then evicts the oldest
+// finished jobs beyond the retention cap. Active jobs are never dropped.
+func (m *jobManager) sweepLocked(now time.Time) {
+	keep := m.order[:0]
+	for _, j := range m.order {
+		if j.state.Terminal() && (!j.expires.After(now) || m.terminal > m.maxJobs) {
+			m.terminal--
+			delete(m.byID, j.id)
+			m.expired++
+			continue
+		}
+		keep = append(keep, j)
+	}
+	for i := len(keep); i < len(m.order); i++ {
+		m.order[i] = nil
+	}
+	m.order = keep
+}
+
+// get resolves a job by id. Only the looked-up job's own TTL is checked
+// (an expired one is dropped and reported unknown); the full sweep runs
+// on register and list, so poll-heavy traffic doesn't rescan the whole
+// retention list under the lock on every lookup.
+func (m *jobManager) get(id string) (*job, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.byID[id]
+	if !ok {
+		return nil, false
+	}
+	if j.state.Terminal() && !j.expires.After(time.Now()) {
+		m.terminal--
+		delete(m.byID, id)
+		for i, o := range m.order {
+			if o == j {
+				m.order = append(m.order[:i], m.order[i+1:]...)
+				break
+			}
+		}
+		m.expired++
+		return nil, false
+	}
+	return j, true
+}
+
+// infoLocked snapshots one job for the wire.
+func (m *jobManager) infoLocked(j *job) JobInfo {
+	info := JobInfo{
+		ID:        j.id,
+		State:     j.state,
+		Graph:     j.graphName,
+		Query:     j.queryName,
+		Cached:    j.cached,
+		Coalesced: j.coalesced,
+		CreatedAt: j.created,
+		Progress:  JobProgress{TrialsTotal: j.trialsTotal},
+	}
+	if j.state.Terminal() {
+		info.Progress.TrialsDone = j.trialsDone
+	} else if j.fl != nil {
+		info.Progress.TrialsDone = int(j.fl.trialsDone.Load())
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		info.StartedAt = &t
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		info.FinishedAt = &t
+		info.ElapsedMS = float64(j.finished.Sub(j.created).Microseconds()) / 1000
+		e := j.expires
+		info.ExpiresAt = &e
+	}
+	if j.err != nil {
+		info.Error = j.err.Error()
+	}
+	return info
+}
+
+func (m *jobManager) snapshot(j *job) JobInfo {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.infoLocked(j)
+}
+
+// list snapshots every retained job, newest first.
+func (m *jobManager) list() []JobInfo {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.sweepLocked(time.Now())
+	out := make([]JobInfo, 0, len(m.order))
+	for i := len(m.order) - 1; i >= 0; i-- {
+		out = append(out, m.infoLocked(m.order[i]))
+	}
+	return out
+}
+
+// outcome converts a terminal job into the sync-path result. The estimate
+// is cloned so callers can mutate their copy without corrupting the
+// retained one.
+func (m *jobManager) outcome(j *job) (EstimateResult, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if !j.state.Terminal() {
+		return EstimateResult{}, fmt.Errorf("%w (%s is %s)", ErrJobNotDone, j.id, j.state)
+	}
+	if j.state == JobCanceled {
+		// Both sentinels are wrapped: errors.Is sees the cancellation
+		// cause and the gone-result condition.
+		return EstimateResult{}, fmt.Errorf("%w (%w)", ErrJobCanceled, j.err)
+	}
+	if j.err != nil {
+		return EstimateResult{}, j.err
+	}
+	return EstimateResult{
+		Estimate: clone(j.est),
+		Cached:   j.cached,
+		Elapsed:  j.finished.Sub(j.created),
+	}, nil
+}
+
+// arm starts the job's deadline watchdog: when it fires before the job
+// finishes, the job fails with DeadlineExceeded and detaches from its
+// flight.
+func (m *jobManager) arm(j *job, d time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if j.state.Terminal() {
+		return
+	}
+	j.timer = time.AfterFunc(d, func() { m.detach(j, context.DeadlineExceeded) })
+}
+
+// shutdown settles every live job with ErrClosed — a retryable 503 on
+// the wire, not the 499 reserved for genuine client cancels — and then
+// cancels their flights so a closing service doesn't wait minutes for
+// detached long runs: the canceled solvers exit within one check
+// interval, and the scheduler's drain finishes promptly.
+func (m *jobManager) shutdown() {
+	m.mu.Lock()
+	now := time.Now()
+	seen := make(map[*flight]bool)
+	var cancels []context.CancelFunc
+	for _, j := range m.order {
+		if j.state.Terminal() {
+			continue
+		}
+		if fl := j.fl; fl != nil && !fl.finished && !seen[fl] {
+			seen[fl] = true
+			cancels = append(cancels, fl.cancel)
+		}
+		m.finalizeLocked(j, coloring.Estimate{}, ErrClosed, now)
+	}
+	m.mu.Unlock()
+	for _, cancel := range cancels {
+		cancel()
+	}
+}
+
+func (m *jobManager) stats() JobsStats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return JobsStats{
+		Submitted: m.submitted,
+		Coalesced: m.coalesced,
+		Canceled:  m.canceled,
+		Expired:   m.expired,
+		Active:    len(m.order) - m.terminal,
+		Retained:  len(m.order),
+	}
+}

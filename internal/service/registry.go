@@ -395,14 +395,6 @@ func (r *Registry) aliasLocked(e *gentry, name string) error {
 	return nil
 }
 
-// dup takes an additional lease on the entry behind an existing live
-// handle, e.g. to hand one to a scheduled job with its own lifetime.
-func (r *Registry) dup(h *Handle) *Handle {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return r.acquireLocked(h.e)
-}
-
 func (r *Registry) acquireLocked(e *gentry) *Handle {
 	e.refs++
 	r.tick++

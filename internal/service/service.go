@@ -57,6 +57,14 @@ type Options struct {
 	// default — path specs are rejected: requests must not be able to
 	// probe the server's filesystem or load unbounded files.
 	GraphDir string
+	// JobTTL bounds how long a finished job (and its result) stays
+	// addressable through the jobs API after it completes (≤ 0 means 10
+	// minutes).
+	JobTTL time.Duration
+	// MaxJobs bounds how many finished jobs are retained; beyond it the
+	// oldest finished jobs are dropped even before their TTL (≤ 0 means
+	// 4096). Active jobs are never dropped.
+	MaxJobs int
 }
 
 func (o Options) withDefaults() Options {
@@ -84,17 +92,27 @@ func (o Options) withDefaults() Options {
 	if o.MaxRanks <= 0 {
 		o.MaxRanks = 256
 	}
+	if o.JobTTL <= 0 {
+		o.JobTTL = 10 * time.Minute
+	}
+	if o.MaxJobs <= 0 {
+		o.MaxJobs = 4096
+	}
 	return o
 }
 
 // Service is the long-running estimation service: a graph registry, a
-// result cache, and a scheduled worker pool over the color-coding
-// estimator. All methods are safe for concurrent use.
+// result cache, a job manager, and a scheduled worker pool over the
+// color-coding estimator. Every estimation — synchronous or async — is a
+// job; the sync entry points are submit-and-wait wrappers over the same
+// path, so sync and async results are bit-identical and cache-keyed the
+// same way. All methods are safe for concurrent use.
 type Service struct {
 	opts  Options
 	reg   *Registry
 	cache *Cache
 	sched *Scheduler
+	jobs  *jobManager
 	start time.Time
 
 	estimates       atomic.Uint64 // estimations actually computed
@@ -110,12 +128,20 @@ func New(opts Options) *Service {
 		reg:   NewRegistry(opts.GraphBudgetBytes),
 		cache: NewCache(opts.CacheCapacity),
 		sched: NewScheduler(opts.Workers, opts.QueueDepth),
+		jobs:  newJobManager(opts.JobTTL, opts.MaxJobs),
 		start: time.Now(),
 	}
 }
 
-// Close stops the worker pool after draining queued jobs.
-func (s *Service) Close() { s.sched.Close() }
+// Close cancels outstanding estimation flights (running solvers stop
+// within one cancel-check interval; queued ones are dropped) and then
+// stops the worker pool. Without the cancellation, a minutes-long async
+// job — whose flight context is detached from any request — would hold
+// shutdown hostage until it finished.
+func (s *Service) Close() {
+	s.jobs.shutdown()
+	s.sched.Close()
+}
 
 // Registry exposes the graph registry (for registration and listings).
 func (s *Service) Registry() *Registry { return s.reg }
@@ -303,18 +329,17 @@ func (s *Service) normalize(req EstimateRequest) (EstimateRequest, error) {
 // concurrency is already bounded by the worker pool.
 const maxParallelPerJob = 16
 
-func (s *Service) jobContext(ctx context.Context, req EstimateRequest) (context.Context, context.CancelFunc) {
-	if ctx == nil {
-		ctx = context.Background()
-	}
+// armDeadline starts the job's deadline watchdog from the request's
+// timeout (or the service default). The deadline spans queue time and
+// run time, as the pre-jobs sync path did.
+func (s *Service) armDeadline(j *job, req EstimateRequest) {
 	timeout := s.opts.DefaultTimeout
 	if req.TimeoutMS > 0 {
 		timeout = time.Duration(req.TimeoutMS) * time.Millisecond
 	}
 	if timeout > 0 {
-		return context.WithTimeout(ctx, timeout)
+		s.jobs.arm(j, timeout)
 	}
-	return ctx, func() {}
 }
 
 // key builds the cache key for a normalized request.
@@ -334,12 +359,13 @@ func (s *Service) key(fp uint64, q *query.Graph, alg core.Algorithm, req Estimat
 // computed, so cached and fresh results are bit-identical by construction:
 // the path below — Draw + RunWith — is exactly coloring.Run, which is
 // exactly subgraph.Estimate.
-func (s *Service) run(h *Handle, q *query.Graph, alg core.Algorithm, req EstimateRequest, key Key, colorings [][]uint8) (coloring.Estimate, error) {
+func (s *Service) run(ctx context.Context, h *Handle, q *query.Graph, alg core.Algorithm, req EstimateRequest, key Key, colorings [][]uint8, progress func(done, total int)) (coloring.Estimate, error) {
 	if colorings == nil {
 		colorings = coloring.Draw(h.Graph().N(), q.K, req.Trials, req.Seed)
 	}
-	est, err := coloring.RunWith(h.Graph(), q, colorings, coloring.Options{
+	est, err := coloring.RunWithContext(ctx, h.Graph(), q, colorings, coloring.Options{
 		Parallel: req.Parallel,
+		Progress: progress,
 		Core: core.Options{
 			Algorithm: alg,
 			Workers:   req.Ranks,
@@ -353,56 +379,226 @@ func (s *Service) run(h *Handle, q *query.Graph, alg core.Algorithm, req Estimat
 	return est, nil
 }
 
-// Estimate runs (or replays from cache) one estimation. It blocks until
-// the scheduled job finishes or ctx / the request timeout fires.
-func (s *Service) Estimate(ctx context.Context, req EstimateRequest) (EstimateResult, error) {
-	start := time.Now()
+// submitJob validates and registers one estimation job, then either
+// replays it from the result cache (the job is born done), attaches it to
+// an identical in-flight job (singleflight), or schedules a fresh flight
+// on the worker pool. colorings, when non-nil, lazily supplies pre-drawn
+// colorings for the flight (batch sharing). The job's deadline watchdog
+// is armed before returning.
+func (s *Service) submitJob(req EstimateRequest, colorings func() [][]uint8) (*job, error) {
 	req, err := s.normalize(req)
 	if err != nil {
-		return EstimateResult{}, err
+		return nil, err
 	}
 	alg, err := ParseAlgorithm(req.Algorithm)
 	if err != nil {
-		return EstimateResult{}, err
+		return nil, err
 	}
 	q, err := buildQuery(req)
 	if err != nil {
-		return EstimateResult{}, err
+		return nil, err
 	}
 	h, ok := s.reg.Acquire(req.Graph)
 	if !ok {
-		return EstimateResult{}, fmt.Errorf("%w %q (register it first)", ErrUnknownGraph, req.Graph)
+		return nil, fmt.Errorf("%w %q (register it first)", ErrUnknownGraph, req.Graph)
 	}
-	defer h.Release()
-
 	key := s.key(h.Fingerprint(), q, alg, req)
+	j := &job{
+		state:       JobQueued,
+		graphName:   h.Graph().Name,
+		queryName:   q.Name,
+		trialsTotal: req.Trials,
+		created:     time.Now(),
+		done:        make(chan struct{}),
+	}
 	if !req.NoCache {
 		if est, ok := s.cache.Get(key); ok {
-			relabel(&est, q.Name, h.Graph().Name)
-			return EstimateResult{Estimate: est, Cached: true, Elapsed: time.Since(start)}, nil
+			h.Release()
+			relabel(&est, j.queryName, j.graphName)
+			s.jobs.addCached(j, est)
+			return j, nil
 		}
 	}
 
-	jctx, cancel := s.jobContext(ctx, req)
-	defer cancel()
-	// The job holds its own lease: if our wait is cut short by ctx, the
-	// job may still be queued or running, and its graph must not be
-	// evicted out from under it.
-	jh := s.reg.dup(h)
-	var est coloring.Estimate
-	job, err := s.sched.SubmitJob(jctx, req.Priority, func(context.Context) error {
-		var err error
-		est, err = s.run(jh, q, alg, req, key, nil)
+	jobs := s.jobs
+	jobs.mu.Lock()
+	if !req.NoCache {
+		if fl, ok := jobs.inflight[key]; ok {
+			jobs.attachLocked(fl, j)
+			jobs.registerLocked(j)
+			jobs.mu.Unlock()
+			h.Release()
+			s.armDeadline(j, req)
+			return j, nil
+		}
+		// An identical flight may have finished between the unlocked cache
+		// check above and taking the lock (its Put lands before it leaves
+		// the inflight index); re-check so the just-cached result is
+		// replayed instead of recomputed.
+		if est, ok := s.cache.Get(key); ok {
+			jobs.mu.Unlock()
+			h.Release()
+			relabel(&est, j.queryName, j.graphName)
+			s.jobs.addCached(j, est)
+			return j, nil
+		}
+	}
+	// New flight. Its context is detached from any request: the flight
+	// lives until it finishes or every attached job detaches. The graph
+	// lease is the flight's own (released by the scheduler's cleanup hook),
+	// so the registry cannot evict the graph out from under a queued or
+	// running flight.
+	fctx, cancel := context.WithCancel(context.Background())
+	fl := &flight{key: key, cancel: cancel}
+	jobs.attachLocked(fl, j)
+	_, err = s.sched.SubmitJob(fctx, req.Priority, func(ctx context.Context) error {
+		s.jobs.flightStarted(fl)
+		var cs [][]uint8
+		if colorings != nil {
+			cs = colorings()
+		}
+		est, err := s.run(ctx, h, q, alg, req, key, cs, func(done, total int) {
+			fl.trialsDone.Add(1)
+		})
+		s.jobs.finishFlight(fl, est, err)
 		return err
-	}, jh.Release)
+	}, func() {
+		h.Release()
+		// Dropped without running (context canceled while queued): settle
+		// any job still attached. A no-op when fn already finished it.
+		s.jobs.finishFlight(fl, coloring.Estimate{}, context.Canceled)
+	})
 	if err != nil {
-		jh.Release()
+		jobs.mu.Unlock()
+		cancel()
+		h.Release()
+		return nil, err
+	}
+	if !req.NoCache {
+		jobs.inflight[key] = fl
+	}
+	jobs.registerLocked(j)
+	jobs.mu.Unlock()
+	s.armDeadline(j, req)
+	return j, nil
+}
+
+// waitJob blocks until j reaches a terminal state or ctx fires; a fired
+// ctx detaches the caller's job (canceling the shared flight when it was
+// the last waiter) and surfaces ctx's error — unless the job finished
+// first, in which case completion wins.
+func (s *Service) waitJob(ctx context.Context, j *job) (EstimateResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	select {
+	case <-j.done:
+	case <-ctx.Done():
+		s.jobs.detach(j, ctx.Err())
+		<-j.done // closed by detach, or already closed if completion won
+		// The caller's own context ended the wait: report its error
+		// (client cancel / deadline), not the gone-result condition a
+		// third party would see — unless completion won the race, in
+		// which case the real result stands.
+		res, err := s.jobs.outcome(j)
+		if err != nil {
+			return EstimateResult{}, ctx.Err()
+		}
+		return res, nil
+	}
+	return s.jobs.outcome(j)
+}
+
+// Estimate runs (or replays from cache) one estimation. It blocks until
+// the scheduled job finishes or ctx / the request timeout fires. It is a
+// submit-and-wait wrapper over the same job path as SubmitEstimateJob, so
+// sync and async results are bit-identical.
+func (s *Service) Estimate(ctx context.Context, req EstimateRequest) (EstimateResult, error) {
+	start := time.Now()
+	j, err := s.submitJob(req, nil)
+	if err != nil {
 		return EstimateResult{}, err
 	}
-	if err := job.Wait(); err != nil {
+	res, err := s.waitJob(ctx, j)
+	if err != nil {
 		return EstimateResult{}, err
 	}
-	return EstimateResult{Estimate: est, Elapsed: time.Since(start)}, nil
+	res.Elapsed = time.Since(start)
+	return res, nil
+}
+
+// SubmitEstimateJob registers req as an async job and returns immediately
+// with its listing entry; poll Job / WaitJob for completion and fetch the
+// result with JobResult. An identical concurrent job (same graph
+// fingerprint, query signature, and knobs) is coalesced onto one
+// computation unless NoCache is set.
+func (s *Service) SubmitEstimateJob(req EstimateRequest) (JobInfo, error) {
+	j, err := s.submitJob(req, nil)
+	if err != nil {
+		return JobInfo{}, err
+	}
+	return s.jobs.snapshot(j), nil
+}
+
+// Job returns one job's current state by id.
+func (s *Service) Job(id string) (JobInfo, bool) {
+	j, ok := s.jobs.get(id)
+	if !ok {
+		return JobInfo{}, false
+	}
+	return s.jobs.snapshot(j), true
+}
+
+// Jobs lists every retained job, newest first.
+func (s *Service) Jobs() []JobInfo { return s.jobs.list() }
+
+// WaitJob blocks until the job reaches a terminal state, wait elapses
+// (wait ≤ 0 means no blocking), or ctx fires, and returns the job's state
+// at that moment. The second return is false for unknown ids.
+func (s *Service) WaitJob(ctx context.Context, id string, wait time.Duration) (JobInfo, bool) {
+	j, ok := s.jobs.get(id)
+	if !ok {
+		return JobInfo{}, false
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if wait > 0 {
+		t := time.NewTimer(wait)
+		defer t.Stop()
+		select {
+		case <-j.done:
+		case <-t.C:
+		case <-ctx.Done():
+		}
+	}
+	return s.jobs.snapshot(j), true
+}
+
+// CancelJob cancels a queued or running job. Canceling a job that
+// already reached a terminal state leaves it untouched (the returned info
+// shows the unchanged state); canceling the last job attached to a
+// computation stops the computation mid-trial. The second return is false
+// for unknown ids.
+func (s *Service) CancelJob(id string) (JobInfo, bool) {
+	j, ok := s.jobs.get(id)
+	if !ok {
+		return JobInfo{}, false
+	}
+	s.jobs.detach(j, context.Canceled)
+	return s.jobs.snapshot(j), true
+}
+
+// JobResult returns a finished job's estimate. It fails with
+// ErrUnknownJob for unknown (or expired) ids, ErrJobNotDone while the job
+// is queued or running, and the job's own error for failed or canceled
+// jobs.
+func (s *Service) JobResult(id string) (EstimateResult, error) {
+	j, ok := s.jobs.get(id)
+	if !ok {
+		return EstimateResult{}, fmt.Errorf("%w %q", ErrUnknownJob, id)
+	}
+	return s.jobs.outcome(j)
 }
 
 // BatchRequest fans one graph and many queries out across the worker
@@ -455,10 +651,13 @@ func relabel(est *coloring.Estimate, queryName, graphName string) {
 // colorGroup lazily draws one set of colorings shared by every batch job
 // with the same (k, trials, seed): the colorings subgraph.Estimate would
 // draw depend only on those values (and the graph's vertex count), so jobs
-// whose seeds align reuse one draw instead of redrawing per query.
+// whose seeds align reuse one draw instead of redrawing per query. uses
+// counts actual fetches, so sharing is metered on jobs that really ran —
+// not on items that were replayed from cache or coalesced away.
 type colorGroup struct {
 	once sync.Once
 	cs   [][]uint8
+	uses atomic.Int64
 }
 
 func (cg *colorGroup) colorings(n, k, trials int, seed int64) [][]uint8 {
@@ -466,34 +665,38 @@ func (cg *colorGroup) colorings(n, k, trials int, seed int64) [][]uint8 {
 	return cg.cs
 }
 
-// EstimateBatch resolves the batch's graph once and schedules every
-// non-cached query as its own job, so a batch of N queries occupies up to
-// N workers concurrently. Results keep the request order; per-item errors
-// do not fail the batch (a batch-level error means nothing ran).
+// EstimateBatch resolves the batch's graph once and submits every query
+// as its own job, so a batch of N queries occupies up to N workers
+// concurrently; queries whose (k, trials, seed) align share one pre-drawn
+// set of colorings, and identical queries coalesce onto one flight.
+// Results keep the request order; per-item errors do not fail the batch
+// (a batch-level error means nothing ran).
 func (s *Service) EstimateBatch(ctx context.Context, breq BatchRequest) ([]BatchItem, error) {
 	if len(breq.Queries) == 0 {
 		return nil, fmt.Errorf("service: batch has no queries")
 	}
+	// Hold a lease across submission so the graph cannot be evicted
+	// between items; each flight takes its own lease on top.
 	h, ok := s.reg.Acquire(breq.Graph)
 	if !ok {
 		return nil, fmt.Errorf("%w %q (register it first)", ErrUnknownGraph, breq.Graph)
 	}
 	defer h.Release()
+	n := h.Graph().N()
 	s.batches.Add(1)
 
 	items := make([]BatchItem, len(breq.Queries))
 	type pendingJob struct {
 		i     int
-		job   *Job
-		est   *coloring.Estimate
+		j     *job
 		start time.Time
 	}
 	var pending []pendingJob
-	type groupKey struct {
+	type batchGroupKey struct {
 		k, trials int
 		seed      int64
 	}
-	groups := make(map[groupKey]*colorGroup)
+	groups := make(map[batchGroupKey]*colorGroup)
 	for i, qreq := range breq.Queries {
 		start := time.Now()
 		if qreq.Graph != "" && qreq.Graph != breq.Graph {
@@ -524,64 +727,47 @@ func (s *Service) EstimateBatch(ctx context.Context, breq BatchRequest) ([]Batch
 			qreq.TimeoutMS = breq.TimeoutMS
 		}
 		qreq.NoCache = qreq.NoCache || breq.NoCache
-		qreq, err := s.normalize(qreq)
+		// Resolve the query here (submitJob will again, cheaply) to name
+		// the item and to group colorings by (k, trials, seed) before
+		// submission.
+		nreq, err := s.normalize(qreq)
 		if err != nil {
 			items[i] = BatchItem{Query: label(qreq, i), Err: err}
 			continue
 		}
-		alg, err := ParseAlgorithm(qreq.Algorithm)
-		if err != nil {
-			items[i] = BatchItem{Query: label(qreq, i), Err: err}
-			continue
-		}
-		q, err := buildQuery(qreq)
+		q, err := buildQuery(nreq)
 		if err != nil {
 			items[i] = BatchItem{Query: label(qreq, i), Err: err}
 			continue
 		}
 		items[i].Query = q.Name
-		key := s.key(h.Fingerprint(), q, alg, qreq)
-		if !qreq.NoCache {
-			if est, ok := s.cache.Get(key); ok {
-				relabel(&est, q.Name, h.Graph().Name)
-				items[i].Result = EstimateResult{Estimate: est, Cached: true, Elapsed: time.Since(start)}
-				continue
-			}
-		}
-		grp, seen := groups[groupKey{k: q.K, trials: qreq.Trials, seed: qreq.Seed}]
+		gk := batchGroupKey{k: q.K, trials: nreq.Trials, seed: nreq.Seed}
+		grp, seen := groups[gk]
 		if !seen {
 			grp = &colorGroup{}
-			groups[groupKey{k: q.K, trials: qreq.Trials, seed: qreq.Seed}] = grp
-		} else {
-			s.coloringsShared.Add(1)
+			groups[gk] = grp
 		}
-
-		jctx, cancel := s.jobContext(ctx, qreq)
-		defer cancel()
-		jh := s.reg.dup(h)
-		est := new(coloring.Estimate)
-		job, err := s.sched.SubmitJob(jctx, qreq.Priority, func(context.Context) error {
-			cs := grp.colorings(jh.Graph().N(), q.K, qreq.Trials, qreq.Seed)
-			e, err := s.run(jh, q, alg, qreq, key, cs)
-			if err != nil {
-				return err
+		k, trials, seed := q.K, nreq.Trials, nreq.Seed
+		j, err := s.submitJob(qreq, func() [][]uint8 {
+			if grp.uses.Add(1) > 1 {
+				s.coloringsShared.Add(1)
 			}
-			*est = e
-			return nil
-		}, jh.Release)
+			return grp.colorings(n, k, trials, seed)
+		})
 		if err != nil {
-			jh.Release()
 			items[i] = BatchItem{Query: q.Name, Err: err}
 			continue
 		}
-		pending = append(pending, pendingJob{i: i, job: job, est: est, start: start})
+		pending = append(pending, pendingJob{i: i, j: j, start: start})
 	}
 	for _, p := range pending {
-		if err := p.job.Wait(); err != nil {
+		res, err := s.waitJob(ctx, p.j)
+		if err != nil {
 			items[p.i].Err = err
 			continue
 		}
-		items[p.i].Result = EstimateResult{Estimate: *p.est, Elapsed: time.Since(p.start)}
+		res.Elapsed = time.Since(p.start)
+		items[p.i].Result = res
 	}
 	return items, nil
 }
@@ -595,6 +781,7 @@ type Stats struct {
 	Registry        RegistryStats  `json:"registry"`
 	Cache           CacheStats     `json:"cache"`
 	Scheduler       SchedulerStats `json:"scheduler"`
+	Jobs            JobsStats      `json:"jobs"`
 }
 
 // Stats returns the current counters of every layer.
@@ -607,5 +794,6 @@ func (s *Service) Stats() Stats {
 		Registry:        s.reg.Stats(),
 		Cache:           s.cache.Stats(),
 		Scheduler:       s.sched.Stats(),
+		Jobs:            s.jobs.stats(),
 	}
 }

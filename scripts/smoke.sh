@@ -1,0 +1,77 @@
+#!/usr/bin/env bash
+# Smoke-test the sgserve HTTP API end to end: start a server, submit an
+# async job, poll it to completion, and assert the estimate matches the
+# golden value (enron stand-in at scale 512 seed 1, glet1, 3 trials,
+# seed 7 — deterministic by construction). Also asserts the async result
+# body is byte-identical to the synchronous /v1/estimate body, and that
+# DELETE cancels a long-running job. Requires curl and jq.
+set -euo pipefail
+
+ADDR="127.0.0.1:18080"
+BASE="http://$ADDR"
+GOLDEN_MATCHES="120868.05555555558"
+GOLDEN_COUNTS="[4418,8064,1442]"
+
+cd "$(dirname "$0")/.."
+go build -o /tmp/sgserve ./cmd/sgserve
+/tmp/sgserve -addr "$ADDR" -preload enron -scale 512 -seed 1 &
+SERVER_PID=$!
+trap 'kill "$SERVER_PID" 2>/dev/null || true' EXIT
+
+for _ in $(seq 1 100); do
+  curl -fsS "$BASE/healthz" >/dev/null 2>&1 && break
+  sleep 0.1
+done
+curl -fsS "$BASE/healthz" >/dev/null
+
+req='{"graph":"enron","query":"glet1","trials":3,"seed":7}'
+
+# Submit → poll (long-poll) → fetch result.
+job=$(curl -fsS "$BASE/v1/jobs" -d "$req")
+id=$(jq -r .id <<<"$job")
+echo "submitted job $id: $(jq -r .state <<<"$job")"
+
+state=""
+for _ in $(seq 1 60); do
+  state=$(curl -fsS "$BASE/v1/jobs/$id?wait=2s" | jq -r .state)
+  [ "$state" = queued ] || [ "$state" = running ] || break
+done
+if [ "$state" != done ]; then
+  echo "FAIL: job $id ended in state $state" >&2
+  exit 1
+fi
+
+async_body=$(curl -fsS "$BASE/v1/jobs/$id/result")
+matches=$(jq -r .Matches <<<"$async_body")
+counts=$(jq -c .Counts <<<"$async_body")
+if [ "$matches" != "$GOLDEN_MATCHES" ] || [ "$counts" != "$GOLDEN_COUNTS" ]; then
+  echo "FAIL: estimate drifted from golden:" >&2
+  echo "  matches $matches (want $GOLDEN_MATCHES)" >&2
+  echo "  counts  $counts (want $GOLDEN_COUNTS)" >&2
+  exit 1
+fi
+echo "job $id done: matches=$matches (golden)"
+
+# Sync path must serve the same bytes for the same request.
+sync_body=$(curl -fsS "$BASE/v1/estimate" -d "$req")
+if [ "$async_body" != "$sync_body" ]; then
+  echo "FAIL: async and sync bodies differ:" >&2
+  echo "  async: $async_body" >&2
+  echo "  sync:  $sync_body" >&2
+  exit 1
+fi
+echo "sync /v1/estimate body identical to async result"
+
+# Cancel a long job mid-run: DELETE must leave it canceled, not done.
+long=$(curl -fsS "$BASE/v1/jobs" -d '{"graph":"enron","query":"brain3","trials":500,"seed":1}' | jq -r .id)
+sleep 0.3
+canceled=$(curl -fsS -X DELETE "$BASE/v1/jobs/$long" | jq -r .state)
+if [ "$canceled" != canceled ]; then
+  echo "FAIL: DELETE left job $long in state $canceled" >&2
+  exit 1
+fi
+echo "job $long canceled mid-run"
+
+coalesced=$(curl -fsS "$BASE/v1/stats" | jq .jobs.submitted)
+echo "stats: $coalesced jobs submitted"
+echo "smoke OK"

@@ -6,7 +6,12 @@ import "repro/internal/service"
 // reference-counted, LRU-evicted registry), whole estimations (an LRU
 // result cache keyed by graph fingerprint + query signature + estimation
 // knobs), and concurrency (a bounded priority-scheduled worker pool) over
-// Estimate. cmd/sgserve exposes it over HTTP; embed it directly via
+// Estimate. Every estimation runs as a cancellable, observable job:
+// Service.Estimate is a submit-and-wait wrapper, and SubmitEstimateJob /
+// Job / WaitJob / CancelJob / JobResult expose the async lifecycle
+// (states queued → running → done|failed|canceled, per-trial progress,
+// TTL'd result retention, singleflight coalescing of identical concurrent
+// requests). cmd/sgserve exposes it over HTTP; embed it directly via
 // NewService for in-process use.
 type (
 	Service         = service.Service
@@ -18,9 +23,23 @@ type (
 	EstimateResult  = service.EstimateResult
 	BatchRequest    = service.BatchRequest
 	BatchItem       = service.BatchItem
+	JobInfo         = service.JobInfo
+	JobState        = service.JobState
+	JobProgress     = service.JobProgress
+	JobsStats       = service.JobsStats
+)
+
+// Job lifecycle states.
+const (
+	JobQueued   = service.JobQueued
+	JobRunning  = service.JobRunning
+	JobDone     = service.JobDone
+	JobFailed   = service.JobFailed
+	JobCanceled = service.JobCanceled
 )
 
 // NewService starts an estimation service. Close it when done; results it
 // computes are bit-identical to direct Estimate calls with the same
-// algorithm, trials, and seed.
+// algorithm, trials, and seed — whether fetched synchronously or through
+// the jobs API.
 func NewService(opts ServiceOptions) *Service { return service.New(opts) }

@@ -17,6 +17,7 @@
 package subgraph
 
 import (
+	"context"
 	"io"
 	"math/rand"
 
@@ -123,6 +124,13 @@ func CountColorful(g *Graph, q *Query, colors []uint8, opts CountOptions) (uint6
 	return core.CountColorful(g, q, colors, opts)
 }
 
+// CountColorfulContext is CountColorful bounded by ctx: the solver polls
+// ctx inside its worker loops, so a canceled or deadline-expired count
+// stops mid-run (returning ctx's error) instead of finishing.
+func CountColorfulContext(ctx context.Context, g *Graph, q *Query, colors []uint8, opts CountOptions) (uint64, CountStats, error) {
+	return core.CountColorfulContext(ctx, g, q, colors, opts)
+}
+
 // RandomColoring draws a uniform coloring for use with CountColorful.
 func RandomColoring(g *Graph, q *Query, seed int64) []uint8 {
 	return coloring.Random(g.N(), q.K, rand.New(rand.NewSource(seed)))
@@ -144,7 +152,16 @@ type EstimateOptions struct {
 // q in g by color coding: Trials independent colorings, each counted
 // exactly and scaled by k^k/k! (§2).
 func Estimate(g *Graph, q *Query, opts EstimateOptions) (Estimation, error) {
-	return coloring.Run(g, q, coloring.Options{
+	return EstimateContext(context.Background(), g, q, opts)
+}
+
+// EstimateContext is Estimate bounded by ctx. Cancellation reaches the
+// inner counting loops: a canceled or deadline-expired estimation stops
+// mid-trial within milliseconds and returns ctx's error, instead of
+// running every remaining trial to completion. Results of uncanceled runs
+// are bit-identical to Estimate.
+func EstimateContext(ctx context.Context, g *Graph, q *Query, opts EstimateOptions) (Estimation, error) {
+	return coloring.RunContext(ctx, g, q, coloring.Options{
 		Trials:   opts.Trials,
 		Seed:     opts.Seed,
 		Parallel: opts.Parallel,
