@@ -1,0 +1,385 @@
+// Command sgload is a closed-loop load generator for sgserve: a fixed
+// number of workers each issue one /v1/estimate request at a time against
+// a seeded mix of graphs, queries, and coloring seeds, and the run ends in
+// a machine-readable JSON report (throughput, latency percentiles, cache
+// hit and coalesce rates, and the server's own shard/lock-wait counters).
+// The workload is deterministic given its flags: scripts/bench.sh replays
+// the same mix on every CI run, so reports are comparable across commits
+// and BENCH_*.json becomes a benchmark trajectory.
+//
+// The cache-hit ratio is a first-class knob because it decides what is
+// being measured: at -hit-ratio 1 every request after warmup is pure
+// serving-layer work (registry acquire, cache lookup, job bookkeeping) —
+// the hot path the sharded registry/cache exist for — while at 0 every
+// request runs the solver and the report measures estimation throughput.
+//
+//	sgload -addr 127.0.0.1:8080 -c 32 -duration 10s -hit-ratio 0.9 -out BENCH_pr3.json
+//
+// A target hit ratio h is achieved by drawing, with probability h, a
+// coloring seed from a small hot set (cached after first touch) and
+// otherwise a fresh never-seen seed (a guaranteed miss).
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"math/rand"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+type config struct {
+	Addr     string  `json:"addr"`
+	Workers  int     `json:"workers"`
+	Duration string  `json:"duration"`
+	Warmup   string  `json:"warmup"`
+	Graphs   int     `json:"graphs"`
+	GraphN   int     `json:"graphN"`
+	Alpha    float64 `json:"alpha"`
+	Queries  string  `json:"queries"`
+	Trials   int     `json:"trials"`
+	Ranks    int     `json:"ranks"`
+	HitRatio float64 `json:"hitRatio"`
+	HotSeeds int     `json:"hotSeeds"`
+	Seed     int64   `json:"seed"`
+	Label    string  `json:"label,omitempty"`
+}
+
+// latencySummary is the percentile rollup of observed request latencies.
+type latencySummary struct {
+	MeanMS float64 `json:"meanMs"`
+	P50MS  float64 `json:"p50Ms"`
+	P95MS  float64 `json:"p95Ms"`
+	P99MS  float64 `json:"p99Ms"`
+	MaxMS  float64 `json:"maxMs"`
+}
+
+// serverSide is the slice of /v1/stats the report embeds, so a BENCH file
+// is self-describing about what the server did during the run.
+type serverSide struct {
+	Shards struct {
+		Count int `json:"count"`
+	} `json:"shards"`
+	Registry struct {
+		Hits       uint64  `json:"hits"`
+		Loads      uint64  `json:"loads"`
+		LockWaits  uint64  `json:"lockWaits"`
+		LockWaitMS float64 `json:"lockWaitMs"`
+	} `json:"registry"`
+	Cache struct {
+		Hits       uint64  `json:"hits"`
+		Misses     uint64  `json:"misses"`
+		Evictions  uint64  `json:"evictions"`
+		LockWaits  uint64  `json:"lockWaits"`
+		LockWaitMS float64 `json:"lockWaitMs"`
+	} `json:"cache"`
+	Jobs struct {
+		Submitted  uint64  `json:"submitted"`
+		Coalesced  uint64  `json:"coalesced"`
+		LockWaits  uint64  `json:"lockWaits"`
+		LockWaitMS float64 `json:"lockWaitMs"`
+	} `json:"jobs"`
+	Estimates uint64 `json:"estimates"`
+}
+
+// report is the machine-readable output: everything scripts/bench.sh and
+// the CI regression gate need, in one flat document.
+type report struct {
+	Label         string         `json:"label,omitempty"`
+	Config        config         `json:"config"`
+	Requests      uint64         `json:"requests"`
+	Errors        uint64         `json:"errors"`
+	DurationSec   float64        `json:"durationSec"`
+	ThroughputRPS float64        `json:"throughputRps"`
+	Latency       latencySummary `json:"latencyMs"`
+	CacheHits     uint64         `json:"cacheHits"`
+	CacheMisses   uint64         `json:"cacheMisses"`
+	CacheHitRate  float64        `json:"cacheHitRate"`
+	CoalesceRate  float64        `json:"coalesceRate"`
+	Server        serverSide     `json:"server"`
+}
+
+// worker is one closed-loop client: it owns a private RNG (derived from
+// the global seed and its index, so runs are reproducible at any
+// concurrency) and issues requests back to back until the deadline.
+type worker struct {
+	rng       *rand.Rand
+	client    *http.Client
+	base      string
+	cfg       *config
+	graphs    []string
+	queries   []string
+	hot       []int64
+	durations []time.Duration
+
+	requests uint64
+	errors   uint64
+	hits     uint64
+	misses   uint64
+}
+
+// coldSeed hands out never-repeating coloring seeds far above the hot
+// range, so a "miss" request can never collide with a hot key or another
+// cold one.
+var coldSeed atomic.Int64
+
+func (w *worker) run(deadline time.Time, record bool) {
+	for time.Now().Before(deadline) {
+		seed := w.hot[w.rng.Intn(len(w.hot))]
+		if w.rng.Float64() >= w.cfg.HitRatio {
+			seed = 1_000_000 + coldSeed.Add(1)
+		}
+		req := map[string]any{
+			"graph":  w.graphs[w.rng.Intn(len(w.graphs))],
+			"query":  w.queries[w.rng.Intn(len(w.queries))],
+			"trials": w.cfg.Trials,
+			"ranks":  w.cfg.Ranks,
+			"seed":   seed,
+		}
+		body, err := json.Marshal(req)
+		if err != nil {
+			log.Fatalf("sgload: marshal: %v", err)
+		}
+		start := time.Now()
+		resp, err := w.client.Post(w.base+"/v1/estimate", "application/json", bytes.NewReader(body))
+		elapsed := time.Since(start)
+		if !record {
+			if err == nil {
+				drain(resp)
+			}
+			continue
+		}
+		w.requests++
+		if err != nil {
+			w.errors++
+			continue
+		}
+		if resp.StatusCode != http.StatusOK {
+			w.errors++
+		} else {
+			w.durations = append(w.durations, elapsed)
+			if resp.Header.Get("X-Cache") == "HIT" {
+				w.hits++
+			} else {
+				w.misses++
+			}
+		}
+		drain(resp)
+	}
+}
+
+func drain(resp *http.Response) {
+	io.Copy(io.Discard, resp.Body) //nolint:errcheck // connection reuse is best effort
+	resp.Body.Close()
+}
+
+func main() {
+	var cfg config
+	flag.StringVar(&cfg.Addr, "addr", "127.0.0.1:8080", "sgserve address (host:port)")
+	flag.IntVar(&cfg.Workers, "c", 32, "concurrent closed-loop workers")
+	duration := flag.Duration("duration", 10*time.Second, "measured run length")
+	warmup := flag.Duration("warmup", time.Second, "unmeasured warmup before the run")
+	flag.IntVar(&cfg.Graphs, "graphs", 4, "power-law graphs to register and spread load across")
+	flag.IntVar(&cfg.GraphN, "graph-n", 1000, "vertices per generated graph")
+	flag.Float64Var(&cfg.Alpha, "alpha", 1.6, "power-law exponent of the generated graphs")
+	flag.StringVar(&cfg.Queries, "queries", "path3,cycle4,star4,glet1", "comma-separated query mix")
+	flag.IntVar(&cfg.Trials, "trials", 1, "trials per estimate")
+	flag.IntVar(&cfg.Ranks, "ranks", 1, "simulated engine ranks per estimate")
+	flag.Float64Var(&cfg.HitRatio, "hit-ratio", 0.9, "target cache-hit ratio in [0,1]")
+	flag.IntVar(&cfg.HotSeeds, "hot", 64, "size of the hot key set backing the hit ratio")
+	flag.Int64Var(&cfg.Seed, "seed", 1, "workload RNG seed (equal seeds replay the same mix)")
+	flag.StringVar(&cfg.Label, "label", "", "label recorded in the report (e.g. sharded/unsharded)")
+	out := flag.String("out", "", "write the JSON report here (default stdout)")
+	flag.Parse()
+	cfg.Duration = duration.String()
+	cfg.Warmup = warmup.String()
+	if cfg.HitRatio < 0 || cfg.HitRatio > 1 {
+		log.Fatalf("sgload: -hit-ratio %g outside [0,1]", cfg.HitRatio)
+	}
+	if cfg.Workers <= 0 || cfg.Graphs <= 0 || cfg.HotSeeds <= 0 {
+		log.Fatal("sgload: -c, -graphs, and -hot must be positive")
+	}
+
+	base := "http://" + cfg.Addr
+	client := &http.Client{
+		Timeout: 30 * time.Second,
+		Transport: &http.Transport{
+			MaxIdleConns:        cfg.Workers + 4,
+			MaxIdleConnsPerHost: cfg.Workers + 4,
+		},
+	}
+
+	waitHealthy(client, base)
+
+	// Register the graph mix; re-registering is free, so a shared server
+	// (or a retry) is harmless.
+	graphs := make([]string, cfg.Graphs)
+	for i := range graphs {
+		graphs[i] = fmt.Sprintf("load%d", i)
+		spec := map[string]any{"powerlaw": cfg.GraphN, "alpha": cfg.Alpha, "seed": 100 + i, "name": graphs[i]}
+		body, err := json.Marshal(spec)
+		if err != nil {
+			log.Fatalf("sgload: marshal: %v", err)
+		}
+		resp, err := client.Post(base+"/v1/graphs", "application/json", bytes.NewReader(body))
+		if err != nil {
+			log.Fatalf("sgload: register %s: %v", graphs[i], err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			b, _ := io.ReadAll(resp.Body)
+			log.Fatalf("sgload: register %s: %d: %s", graphs[i], resp.StatusCode, b)
+		}
+		drain(resp)
+	}
+
+	queries := strings.Split(cfg.Queries, ",")
+	for i := range queries {
+		queries[i] = strings.TrimSpace(queries[i])
+	}
+	hot := make([]int64, cfg.HotSeeds)
+	for i := range hot {
+		hot[i] = int64(i + 1)
+	}
+
+	workers := make([]*worker, cfg.Workers)
+	for i := range workers {
+		workers[i] = &worker{
+			rng:       rand.New(rand.NewSource(cfg.Seed + int64(i)*7919)),
+			client:    client,
+			base:      base,
+			cfg:       &cfg,
+			graphs:    graphs,
+			queries:   queries,
+			hot:       hot,
+			durations: make([]time.Duration, 0, 1<<16),
+		}
+	}
+
+	runPhase := func(d time.Duration, record bool) time.Duration {
+		start := time.Now()
+		deadline := start.Add(d)
+		var wg sync.WaitGroup
+		for _, w := range workers {
+			wg.Add(1)
+			go func(w *worker) {
+				defer wg.Done()
+				w.run(deadline, record)
+			}(w)
+		}
+		wg.Wait()
+		return time.Since(start)
+	}
+	if *warmup > 0 {
+		log.Printf("sgload: warming up for %s", warmup)
+		runPhase(*warmup, false)
+	}
+	log.Printf("sgload: measuring %d workers for %s against %s", cfg.Workers, duration, cfg.Addr)
+	measured := runPhase(*duration, true)
+
+	rep := summarize(&cfg, workers, measured)
+	rep.Server = fetchServerStats(client, base)
+	if rep.Server.Jobs.Submitted > 0 {
+		rep.CoalesceRate = float64(rep.Server.Jobs.Coalesced) / float64(rep.Server.Jobs.Submitted)
+	}
+
+	var sink io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatalf("sgload: %v", err)
+		}
+		defer f.Close()
+		sink = f
+	}
+	enc := json.NewEncoder(sink)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		log.Fatalf("sgload: write report: %v", err)
+	}
+	log.Printf("sgload: %d requests in %.2fs = %.1f req/s (p50 %.2fms, p99 %.2fms, hit rate %.3f, errors %d)",
+		rep.Requests, rep.DurationSec, rep.ThroughputRPS,
+		rep.Latency.P50MS, rep.Latency.P99MS, rep.CacheHitRate, rep.Errors)
+	if rep.Errors > rep.Requests/10 {
+		log.Fatalf("sgload: error rate %.1f%% exceeds 10%% — not a valid benchmark run",
+			100*float64(rep.Errors)/float64(rep.Requests))
+	}
+}
+
+// waitHealthy polls /healthz so sgload can be started alongside sgserve.
+func waitHealthy(client *http.Client, base string) {
+	for i := 0; i < 100; i++ {
+		resp, err := client.Get(base + "/healthz")
+		if err == nil {
+			drain(resp)
+			if resp.StatusCode == http.StatusOK {
+				return
+			}
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	log.Fatalf("sgload: server at %s never became healthy", base)
+}
+
+func summarize(cfg *config, workers []*worker, measured time.Duration) report {
+	rep := report{Label: cfg.Label, Config: *cfg, DurationSec: measured.Seconds()}
+	var all []time.Duration
+	for _, w := range workers {
+		rep.Requests += w.requests
+		rep.Errors += w.errors
+		rep.CacheHits += w.hits
+		rep.CacheMisses += w.misses
+		all = append(all, w.durations...)
+	}
+	if rep.DurationSec > 0 {
+		rep.ThroughputRPS = float64(rep.Requests-rep.Errors) / rep.DurationSec
+	}
+	if n := rep.CacheHits + rep.CacheMisses; n > 0 {
+		rep.CacheHitRate = float64(rep.CacheHits) / float64(n)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	if len(all) > 0 {
+		var sum time.Duration
+		for _, d := range all {
+			sum += d
+		}
+		ms := func(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
+		quantile := func(q float64) time.Duration {
+			i := int(q * float64(len(all)-1))
+			return all[i]
+		}
+		rep.Latency = latencySummary{
+			MeanMS: ms(sum / time.Duration(len(all))),
+			P50MS:  ms(quantile(0.50)),
+			P95MS:  ms(quantile(0.95)),
+			P99MS:  ms(quantile(0.99)),
+			MaxMS:  ms(all[len(all)-1]),
+		}
+	}
+	return rep
+}
+
+// fetchServerStats embeds the server's own view of the run; the coalesce
+// rate is derived from it (coalescing happens server-side, invisibly to
+// one client).
+func fetchServerStats(client *http.Client, base string) serverSide {
+	var st serverSide
+	resp, err := client.Get(base + "/v1/stats")
+	if err != nil {
+		log.Printf("sgload: stats fetch failed: %v", err)
+		return st
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		log.Printf("sgload: stats decode failed: %v", err)
+	}
+	return st
+}

@@ -31,6 +31,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"os"
 	"os/signal"
 	"strings"
@@ -42,10 +43,12 @@ import (
 
 func main() {
 	var (
-		addr     = flag.String("addr", ":8080", "listen address")
+		addr     = flag.String("addr", ":8080", "listen address (port 0 picks a free port; see -addr-file)")
+		addrFile = flag.String("addr-file", "", "write the actually bound address to this file once listening (for scripts using -addr :0)")
 		workers  = flag.Int("workers", 0, "estimation worker goroutines (0 = NumCPU)")
 		queue    = flag.Int("queue", 1024, "max queued jobs before shedding load")
 		cacheCap = flag.Int("cache", 4096, "result cache capacity (entries)")
+		shards   = flag.Int("shards", 0, "registry/cache shard count (0 = 2×NumCPU clamped to [8,32]; 1 = unsharded)")
 		budgetMB = flag.Int64("graph-budget-mb", 1024, "graph registry memory budget (MiB)")
 		trials   = flag.Int("trials", 3, "default trials per estimate")
 		maxTr    = flag.Int("max-trials", 1024, "reject requests asking for more trials than this")
@@ -66,6 +69,7 @@ func main() {
 		Workers:          *workers,
 		QueueDepth:       *queue,
 		CacheCapacity:    *cacheCap,
+		Shards:           *shards,
 		GraphBudgetBytes: *budgetMB << 20,
 		DefaultTrials:    *trials,
 		DefaultRanks:     *ranks,
@@ -91,8 +95,22 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	log.Printf("sgserve: listening on %s (%s)", *addr, describe(*workers))
-	if err := svc.ListenAndServe(ctx, *addr, *grace); err != nil {
+	// Bind before serving so ":0" resolves to a concrete port that can be
+	// logged and handed to scripts — shared CI runners cannot hardcode one.
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sgserve:", err)
+		os.Exit(1)
+	}
+	bound := ln.Addr().String()
+	if *addrFile != "" {
+		if err := os.WriteFile(*addrFile, []byte(bound+"\n"), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "sgserve: addr-file:", err)
+			os.Exit(1)
+		}
+	}
+	log.Printf("sgserve: listening on %s (%s)", bound, describe(*workers))
+	if err := svc.Serve(ctx, ln, *grace); err != nil {
 		fmt.Fprintln(os.Stderr, "sgserve:", err)
 		os.Exit(1)
 	}

@@ -1,0 +1,79 @@
+package service
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/coloring"
+)
+
+// Parallel microbenchmarks of the serving hot path's shared structures.
+// These isolate lock structure from HTTP and solver cost: on multicore
+// hardware the sharded variants scale with cores while the 1-shard
+// variants serialize, which is the effect `sgload` measures end to end.
+//
+//	go test -bench 'Shards' -cpu 1,4,8 ./internal/service/
+//
+// On a single-core machine the variants converge — waiting on a lock
+// costs no throughput when only one goroutine can run anyway.
+
+func benchmarkCacheGet(b *testing.B, shards int) {
+	c := NewCache(4096, shards)
+	defer c.Close()
+	const keys = 512
+	for i := 0; i < keys; i++ {
+		c.Put(Key{Graph: uint64(i), Query: "k3:6:5:3", Trials: 3, Seed: 1, Ranks: 4},
+			coloring.Estimate{Query: fmt.Sprintf("q%d", i), Counts: []uint64{1, 2, 3}, Matches: float64(i)})
+	}
+	var seq atomic.Uint64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := seq.Add(1) * 7919
+		for pb.Next() {
+			i++
+			k := Key{Graph: i % keys, Query: "k3:6:5:3", Trials: 3, Seed: 1, Ranks: 4}
+			if _, ok := c.Get(k); !ok {
+				b.Error("warm key missing")
+				return
+			}
+		}
+	})
+}
+
+func BenchmarkCacheGetShards1(b *testing.B)  { benchmarkCacheGet(b, 1) }
+func BenchmarkCacheGetShards8(b *testing.B)  { benchmarkCacheGet(b, 8) }
+func BenchmarkCacheGetShards32(b *testing.B) { benchmarkCacheGet(b, 32) }
+
+func benchmarkRegistryAcquire(b *testing.B, shards int) {
+	r := NewRegistry(0, shards)
+	defer r.Close()
+	const graphs = 8
+	refs := make([]string, graphs)
+	for i := 0; i < graphs; i++ {
+		h, err := r.Add(GraphSpec{PowerLawN: 200, Alpha: 1.6, Seed: int64(i + 1)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		refs[i] = h.ID()
+		h.Release()
+	}
+	var seq atomic.Uint64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := seq.Add(1) * 7919
+		for pb.Next() {
+			i++
+			h, ok := r.Acquire(refs[i%graphs])
+			if !ok {
+				b.Error("registered graph missing")
+				return
+			}
+			h.Release()
+		}
+	})
+}
+
+func BenchmarkRegistryAcquireShards1(b *testing.B)  { benchmarkRegistryAcquire(b, 1) }
+func BenchmarkRegistryAcquireShards8(b *testing.B)  { benchmarkRegistryAcquire(b, 8) }
+func BenchmarkRegistryAcquireShards32(b *testing.B) { benchmarkRegistryAcquire(b, 32) }

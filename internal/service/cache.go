@@ -2,9 +2,14 @@ package service
 
 import (
 	"container/list"
+	"encoding/binary"
 	"fmt"
+	"hash/fnv"
+	"io"
 	"strings"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/coloring"
 	"repro/internal/core"
@@ -23,6 +28,26 @@ type Key struct {
 	Trials    int
 	Seed      int64
 	Ranks     int // simulated engine ranks; changes Stats, not counts
+}
+
+// hash folds every key field into one FNV-1a value for shard selection.
+// It must cover all fields Key equality covers, or two distinct keys on
+// one shard could look balanced while a real workload pins one stripe.
+func (k Key) hash() uint64 {
+	h := fnv.New64a()
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], k.Graph)
+	h.Write(b[:])
+	io.WriteString(h, k.Query) //nolint:errcheck // fnv never fails
+	binary.LittleEndian.PutUint64(b[:], uint64(k.Algorithm))
+	h.Write(b[:])
+	binary.LittleEndian.PutUint64(b[:], uint64(k.Trials))
+	h.Write(b[:])
+	binary.LittleEndian.PutUint64(b[:], uint64(k.Seed))
+	h.Write(b[:])
+	binary.LittleEndian.PutUint64(b[:], uint64(k.Ranks))
+	h.Write(b[:])
+	return h.Sum64()
 }
 
 // QuerySignature canonicalizes a labeled query graph as its node count
@@ -49,13 +74,28 @@ func QuerySignature(q *query.Graph) string {
 	return b.String()
 }
 
-// CacheStats are the cache's observability counters.
+// CacheStats are the cache's observability counters, rolled up across
+// shards.
 type CacheStats struct {
+	Entries    int    `json:"entries"`
+	Capacity   int    `json:"capacity"`
+	Hits       uint64 `json:"hits"`
+	Misses     uint64 `json:"misses"`
+	Evictions  uint64 `json:"evictions"`
+	Shards     int    `json:"shards"`
+	Rebalances uint64 `json:"rebalances"`
+	LockWait
+}
+
+// CacheShardStats is one shard's slice of the cache counters, for the
+// /v1/stats shards section.
+type CacheShardStats struct {
 	Entries   int    `json:"entries"`
 	Capacity  int    `json:"capacity"`
 	Hits      uint64 `json:"hits"`
 	Misses    uint64 `json:"misses"`
 	Evictions uint64 `json:"evictions"`
+	LockWait
 }
 
 type centry struct {
@@ -63,10 +103,10 @@ type centry struct {
 	val coloring.Estimate
 }
 
-// Cache is a bounded LRU map from estimation keys to finished estimates.
-// It is safe for concurrent use; hits refresh recency.
-type Cache struct {
-	mu  sync.Mutex
+// cacheShard is one stripe of the cache: its own LRU list, index, and
+// capacity allotment (settled by the rebalancer).
+type cacheShard struct {
+	mu  waitMutex
 	cap int
 	m   map[Key]*list.Element
 	lru *list.List // front = most recently used
@@ -74,15 +114,69 @@ type Cache struct {
 	hits      uint64
 	misses    uint64
 	evictions uint64
+	// demand is hits+inserts observed since the last rebalance; the
+	// rebalancer reads and resets it to apportion capacity by recent use.
+	demand uint64
 }
 
+// Cache is a bounded LRU map from estimation keys to finished estimates,
+// partitioned across shards by key hash so concurrent hits on different
+// keys do not contend on one mutex. The capacity is global: shards start
+// with an even split, and with more than one shard a background rebalancer
+// re-settles the per-shard allotments toward recent demand, so a skewed
+// key distribution doesn't waste the quiet shards' capacity. It is safe
+// for concurrent use; hits refresh recency within a shard.
+type Cache struct {
+	totalCap int
+	shards   []*cacheShard
+
+	rebalances atomic.Uint64
+	stop       chan struct{}
+	stopOnce   sync.Once
+}
+
+// cacheRebalanceEvery is the cadence of the background capacity
+// rebalancer.
+const cacheRebalanceEvery = time.Second
+
 // NewCache returns a cache holding up to capacity estimates (≤ 0 means
-// 4096).
-func NewCache(capacity int) *Cache {
+// 4096) across shards stripes (≤ 0 means DefaultShards; clamped so every
+// shard holds at least one entry). Close the cache when done: with more
+// than one shard it runs a background capacity rebalancer.
+func NewCache(capacity, shards int) *Cache {
 	if capacity <= 0 {
 		capacity = 4096
 	}
-	return &Cache{cap: capacity, m: make(map[Key]*list.Element), lru: list.New()}
+	n := normShards(shards)
+	if n > capacity {
+		n = capacity
+	}
+	c := &Cache{
+		totalCap: capacity,
+		shards:   make([]*cacheShard, n),
+		stop:     make(chan struct{}),
+	}
+	for i := range c.shards {
+		cp := capacity / n
+		if i < capacity%n {
+			cp++
+		}
+		c.shards[i] = &cacheShard{cap: cp, m: make(map[Key]*list.Element), lru: list.New()}
+	}
+	if n > 1 {
+		go c.rebalanceLoop()
+	}
+	return c
+}
+
+// Close stops the background rebalancer. The cache stays usable; its
+// per-shard allotments simply stop adapting.
+func (c *Cache) Close() {
+	c.stopOnce.Do(func() { close(c.stop) })
+}
+
+func (c *Cache) shardFor(k Key) *cacheShard {
+	return c.shards[k.hash()%uint64(len(c.shards))]
 }
 
 // clone deep-copies an estimate's slices: the cache and its callers must
@@ -97,48 +191,213 @@ func clone(e coloring.Estimate) coloring.Estimate {
 }
 
 // Get returns the cached estimate for k, if present. The result is the
-// caller's to mutate.
+// caller's to mutate: the deep copy happens after the shard unlocks —
+// safe because a stored value's backing arrays are only ever replaced
+// (Put installs a fresh clone), never mutated in place — so the shard's
+// critical section allocates nothing.
 func (c *Cache) Get(k Key) (coloring.Estimate, bool) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	el, ok := c.m[k]
+	sh := c.shardFor(k)
+	sh.mu.Lock()
+	el, ok := sh.m[k]
 	if !ok {
-		c.misses++
+		sh.misses++
+		sh.mu.Unlock()
 		return coloring.Estimate{}, false
 	}
-	c.hits++
-	c.lru.MoveToFront(el)
-	return clone(el.Value.(*centry).val), true
+	sh.hits++
+	sh.demand++
+	sh.lru.MoveToFront(el)
+	v := el.Value.(*centry).val
+	sh.mu.Unlock()
+	return clone(v), true
 }
 
-// Put stores a copy of v under k, evicting the least-recently-used entry
-// if full. Re-putting an existing key refreshes its value and recency.
+// Put stores a copy of v under k, evicting the shard's least-recently-used
+// entries if full. Re-putting an existing key refreshes its value and
+// recency.
 func (c *Cache) Put(k Key, v coloring.Estimate) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if el, ok := c.m[k]; ok {
+	sh := c.shardFor(k)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if el, ok := sh.m[k]; ok {
+		// A refresh is demand too: NoCache recomputes re-Put the same
+		// keys without a Get, and their shard must not read as idle to
+		// the rebalancer while its working set is the hottest one.
+		sh.demand++
 		el.Value.(*centry).val = clone(v)
-		c.lru.MoveToFront(el)
+		sh.lru.MoveToFront(el)
 		return
 	}
-	for c.lru.Len() >= c.cap {
-		oldest := c.lru.Back()
-		c.lru.Remove(oldest)
-		delete(c.m, oldest.Value.(*centry).key)
-		c.evictions++
+	sh.demand++
+	// The emptiness guard is defense in depth: the rebalancer never
+	// allots below 1, but a zero cap here would otherwise spin forever
+	// against an empty LRU while holding the shard mutex.
+	for sh.lru.Len() >= sh.cap && sh.lru.Len() > 0 {
+		sh.evictOldestLocked()
 	}
-	c.m[k] = c.lru.PushFront(&centry{key: k, val: clone(v)})
+	sh.m[k] = sh.lru.PushFront(&centry{key: k, val: clone(v)})
 }
 
-// Stats returns the cache counters.
-func (c *Cache) Stats() CacheStats {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return CacheStats{
-		Entries:   c.lru.Len(),
-		Capacity:  c.cap,
-		Hits:      c.hits,
-		Misses:    c.misses,
-		Evictions: c.evictions,
+func (sh *cacheShard) evictOldestLocked() {
+	oldest := sh.lru.Back()
+	if oldest == nil {
+		return
 	}
+	sh.lru.Remove(oldest)
+	delete(sh.m, oldest.Value.(*centry).key)
+	sh.evictions++
+}
+
+// rebalanceLoop periodically re-settles the per-shard capacity allotments.
+func (c *Cache) rebalanceLoop() {
+	t := time.NewTicker(cacheRebalanceEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.stop:
+			return
+		case <-t.C:
+			c.rebalance()
+		}
+	}
+}
+
+// rebalance redistributes the global capacity proportional to each
+// shard's demand (hits + inserts) since the last pass, with a floor of
+// 1/(4·shards) so a cold shard keeps admitting. Two invariants hold at
+// all times: the allotments sum to at most the configured capacity (so
+// shard-local Put eviction preserves the global bound), and — matching
+// the unsharded cache, which only ever evicted when full — no entry is
+// evicted while the cache as a whole is under capacity: while there is
+// global headroom, a shard whose demand went quiet keeps at least its
+// population, funded by reclaiming other shards' unused headroom. Only
+// a globally full cache shrinks quiet shards below their population,
+// which is what lets a hot shard grow at stale entries' expense
+// (approximating global LRU).
+func (c *Cache) rebalance() {
+	n := len(c.shards)
+	demand := make([]uint64, n)
+	lens := make([]int, n)
+	var totalDemand uint64
+	totalLen := 0
+	for i, sh := range c.shards {
+		sh.mu.Lock()
+		demand[i] = sh.demand
+		sh.demand = 0
+		lens[i] = sh.lru.Len()
+		sh.mu.Unlock()
+		totalDemand += demand[i]
+		totalLen += lens[i]
+	}
+	floor := c.totalCap / (4 * n)
+	if floor < 1 {
+		floor = 1
+	}
+	avail := c.totalCap - n*floor
+	if avail < 0 {
+		avail = 0
+	}
+	caps := make([]int, n)
+	for i := range caps {
+		caps[i] = floor
+		if totalDemand > 0 {
+			caps[i] += int(float64(avail) * float64(demand[i]) / float64(totalDemand))
+		} else {
+			caps[i] += avail / n
+		}
+	}
+	if totalLen < c.totalCap {
+		// Global headroom: protect populations. Every shard keeps at
+		// least max(population, 1) — never 1 entry less, and never a zero
+		// cap, which would make the next Put spin forever on an empty
+		// LRU. The raise is paid back by shaving shards still above their
+		// own minimum, one entry per pass, until the caps sum back to the
+		// global capacity.
+		excess := -c.totalCap
+		for i := range caps {
+			if min := max(lens[i], 1); caps[i] < min {
+				caps[i] = min
+			}
+			excess += caps[i]
+		}
+		for excess > 0 {
+			shaved := false
+			for i := range caps {
+				if excess == 0 {
+					break
+				}
+				if caps[i] > max(lens[i], 1) {
+					caps[i]--
+					excess--
+					shaved = true
+				}
+			}
+			if !shaved {
+				break
+			}
+		}
+		// Degenerate near-full case: the 1-entry floors alone exceed the
+		// capacity's remainder. Shave above the floor — a few evictions,
+		// exactly when the cache is effectively full anyway.
+		for excess > 0 {
+			shaved := false
+			for i := range caps {
+				if excess == 0 {
+					break
+				}
+				if caps[i] > 1 {
+					caps[i]--
+					excess--
+					shaved = true
+				}
+			}
+			if !shaved {
+				break
+			}
+		}
+	}
+	for i, sh := range c.shards {
+		sh.mu.Lock()
+		sh.cap = caps[i]
+		for sh.lru.Len() > sh.cap {
+			sh.evictOldestLocked()
+		}
+		sh.mu.Unlock()
+	}
+	c.rebalances.Add(1)
+}
+
+// Stats returns the cache counters rolled up across shards.
+func (c *Cache) Stats() CacheStats {
+	st := CacheStats{
+		Capacity:   c.totalCap,
+		Shards:     len(c.shards),
+		Rebalances: c.rebalances.Load(),
+	}
+	for _, ss := range c.ShardStats() {
+		st.Entries += ss.Entries
+		st.Hits += ss.Hits
+		st.Misses += ss.Misses
+		st.Evictions += ss.Evictions
+		st.LockWait.add(ss.LockWait)
+	}
+	return st
+}
+
+// ShardStats returns each shard's slice of the counters, in shard order.
+func (c *Cache) ShardStats() []CacheShardStats {
+	out := make([]CacheShardStats, len(c.shards))
+	for i, sh := range c.shards {
+		sh.mu.Lock()
+		out[i] = CacheShardStats{
+			Entries:   sh.lru.Len(),
+			Capacity:  sh.cap,
+			Hits:      sh.hits,
+			Misses:    sh.misses,
+			Evictions: sh.evictions,
+		}
+		sh.mu.Unlock()
+		out[i].LockWait = sh.mu.wait()
+	}
+	return out
 }

@@ -19,7 +19,7 @@ func est(i int) coloring.Estimate {
 }
 
 func TestCacheLRUEvictionOrder(t *testing.T) {
-	c := service.NewCache(2)
+	c := service.NewCache(2, 1)
 	c.Put(key(1), est(1))
 	c.Put(key(2), est(2))
 	if _, ok := c.Get(key(1)); !ok { // refresh 1: now 2 is the LRU entry
@@ -45,7 +45,7 @@ func TestCacheLRUEvictionOrder(t *testing.T) {
 }
 
 func TestCachePutRefreshesExisting(t *testing.T) {
-	c := service.NewCache(2)
+	c := service.NewCache(2, 1)
 	c.Put(key(1), est(1))
 	c.Put(key(1), est(9))
 	if st := c.Stats(); st.Entries != 1 {
@@ -66,7 +66,7 @@ func TestCacheConcurrent(t *testing.T) {
 		keys    = 24 // working set fits the cache, so hits occur
 		cap     = 32
 	)
-	c := service.NewCache(cap)
+	c := service.NewCache(cap, 1)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -101,7 +101,7 @@ func TestCacheConcurrent(t *testing.T) {
 // TestCacheIsolatesSlices checks callers and the cache never share
 // Counts backing arrays in either direction.
 func TestCacheIsolatesSlices(t *testing.T) {
-	c := service.NewCache(4)
+	c := service.NewCache(4, 1)
 	orig := coloring.Estimate{Query: "q", Counts: []uint64{1, 2, 3}}
 	c.Put(key(1), orig)
 	orig.Counts[0] = 99 // caller mutates after Put

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"net"
 	"net/http"
 	"time"
 )
@@ -12,7 +13,9 @@ import (
 // Handler returns the service's HTTP API:
 //
 //	GET    /healthz             liveness probe
-//	GET    /v1/stats            counters of every layer (registry, cache, scheduler, jobs)
+//	GET    /v1/stats            counters of every layer (registry, cache, scheduler, jobs),
+//	                            plus a per-shard breakdown with lock-wait counters
+//	                            under "shards"
 //	POST   /v1/graphs           register a graph (GraphSpec JSON) → GraphInfo
 //	GET    /v1/graphs           list registered graphs
 //	GET    /v1/graphs/X         one graph by id or name
@@ -300,16 +303,28 @@ func (s *Service) handleCancelJob(w http.ResponseWriter, r *http.Request) {
 // pool drains, and the listener closes. Used by cmd/sgserve; tests use
 // Handler with httptest instead.
 func (s *Service) ListenAndServe(ctx context.Context, addr string, grace time.Duration) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		s.Close() // don't leak the worker pool on a bind failure
+		return err
+	}
+	return s.Serve(ctx, ln, grace)
+}
+
+// Serve is ListenAndServe on a caller-provided listener, for callers that
+// bind the port themselves — e.g. cmd/sgserve on ":0", where the bound
+// address must be known (and written to an -addr-file) before serving.
+// Serve owns ln and the service: both are closed before it returns.
+func (s *Service) Serve(ctx context.Context, ln net.Listener, grace time.Duration) error {
 	srv := &http.Server{
-		Addr:              addr,
 		Handler:           s.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 	errc := make(chan error, 1)
-	go func() { errc <- srv.ListenAndServe() }()
+	go func() { errc <- srv.Serve(ln) }()
 	select {
 	case err := <-errc:
-		s.Close() // bind failure etc.: don't leak the worker pool
+		s.Close() // listener failure: don't leak the worker pool
 		return err
 	case <-ctx.Done():
 	}

@@ -4,7 +4,6 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"sync"
 	"sync/atomic"
 	"time"
 
@@ -114,7 +113,11 @@ type job struct {
 	timer       *time.Timer   // per-job deadline watchdog
 }
 
-// JobsStats are the job manager's observability counters.
+// JobsStats are the job manager's observability counters. LockWait
+// measures contention on the manager's single mutex: unlike the registry
+// and cache it is not sharded (job ids and the singleflight index are
+// global), so this is the counter to watch when deciding whether it needs
+// to be.
 type JobsStats struct {
 	Submitted uint64 `json:"submitted"`
 	Coalesced uint64 `json:"coalesced"`
@@ -122,16 +125,25 @@ type JobsStats struct {
 	Expired   uint64 `json:"expired"`
 	Active    int    `json:"active"`   // queued or running
 	Retained  int    `json:"retained"` // all jobs still addressable by id
+	LockWait
 }
 
 // jobManager tracks every job by id, the in-flight singleflight index,
-// and TTL'd retention of finished jobs.
+// and TTL'd retention of finished jobs. Its mutex is the serving path's
+// one global lock, so the per-request critical sections (submission,
+// cache-hit registration, result fetch) allocate nothing: ids come from
+// an atomic counter and estimates are cloned outside — an allocation
+// that hits a GC assist while holding a hot global mutex convoys every
+// concurrent request behind it. Flight completion (finishFlight) does
+// still clone per attached job under the lock; it runs once per
+// computed estimate, so its rate is bounded by the worker pool, not by
+// request throughput.
 type jobManager struct {
-	mu        sync.Mutex
+	mu        waitMutex
 	byID      map[string]*job
 	order     []*job // submission order: oldest first, for sweeps and listings
 	inflight  map[Key]*flight
-	nextID    uint64
+	nextID    atomic.Uint64
 	ttl       time.Duration
 	maxJobs   int
 	terminal  int       // finished jobs currently retained
@@ -161,10 +173,17 @@ func newJobManager(ttl time.Duration, maxJobs int) *jobManager {
 	}
 }
 
-// registerLocked assigns the job its id and adds it to the index.
+// assignID gives the job its id; ids are drawn outside the mutex so the
+// formatting (an allocation) stays off the critical section.
+func (m *jobManager) assignID(j *job) {
+	j.id = fmt.Sprintf("j%d", m.nextID.Add(1))
+}
+
+// registerLocked adds a job (already carrying its id) to the index.
 func (m *jobManager) registerLocked(j *job) {
-	m.nextID++
-	j.id = fmt.Sprintf("j%d", m.nextID)
+	if j.id == "" {
+		m.assignID(j)
+	}
 	m.byID[j.id] = j
 	m.order = append(m.order, j)
 	m.submitted++
@@ -198,13 +217,19 @@ func (m *jobManager) attachLocked(fl *flight, j *job) {
 }
 
 // addCached registers a job that was answered from the result cache: it
-// is born done.
+// is born done. est must be the caller's own copy (the cache Get already
+// cloned it); ownership passes to the job, so the hot cache-hit path
+// pays no allocation under the manager's mutex.
 func (m *jobManager) addCached(j *job, est coloring.Estimate) {
+	if j.id == "" {
+		m.assignID(j)
+	}
+	relabel(&est, j.queryName, j.graphName)
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.registerLocked(j)
 	j.cached = true
-	m.finalizeLocked(j, est, nil, time.Now())
+	m.finalizeOwnedLocked(j, est, nil, time.Now())
 }
 
 // flightStarted marks the flight (and every job still queued on it)
@@ -251,7 +276,20 @@ func (m *jobManager) finishFlight(fl *flight, est coloring.Estimate, err error) 
 }
 
 // finalizeLocked moves a job to its terminal state and wakes waiters.
+// Each successful job gets its own deep copy stamped with its own display
+// names: coalesced jobs share one flight but not backing arrays, and a
+// follower must not replay the owner's request names.
 func (m *jobManager) finalizeLocked(j *job, est coloring.Estimate, err error, now time.Time) {
+	if err == nil {
+		est = clone(est)
+		relabel(&est, j.queryName, j.graphName)
+	}
+	m.finalizeOwnedLocked(j, est, err, now)
+}
+
+// finalizeOwnedLocked is finalizeLocked for an estimate the job already
+// owns outright (cloned and relabeled by the caller, outside the mutex).
+func (m *jobManager) finalizeOwnedLocked(j *job, est coloring.Estimate, err error, now time.Time) {
 	m.terminal++
 	j.finished = now
 	j.expires = now.Add(m.ttl)
@@ -268,11 +306,7 @@ func (m *jobManager) finalizeLocked(j *job, est coloring.Estimate, err error, no
 	case err == nil:
 		j.state = JobDone
 		j.trialsDone = j.trialsTotal
-		// Each job gets its own deep copy stamped with its own display
-		// names: coalesced jobs share one flight but not backing arrays,
-		// and a follower must not replay the owner's request names.
-		j.est = clone(est)
-		relabel(&j.est, j.queryName, j.graphName)
+		j.est = est
 	case errors.Is(err, context.Canceled):
 		j.state = JobCanceled
 		j.err = err
@@ -325,11 +359,21 @@ func (m *jobManager) detach(j *job, cause error) bool {
 }
 
 // sweepLocked drops finished jobs past their TTL, then evicts the oldest
-// finished jobs beyond the retention cap. Active jobs are never dropped.
+// finished jobs beyond the retention low-water mark. Active jobs are
+// never dropped. Sweeping down to lowWater rather than exactly to the cap
+// is what keeps the cap amortized: evicting to the cap itself would put a
+// saturated manager one submission below the trigger again, degenerating
+// into a full O(retained) scan under the global mutex on every request.
 func (m *jobManager) sweepLocked(now time.Time) {
+	// Only a sweep that found the cap exceeded drains to the low-water
+	// mark; purely time-based (TTL) sweeps leave retention at the cap.
+	low := m.maxJobs
+	if m.terminal > m.maxJobs {
+		low = m.lowWaterLocked()
+	}
 	keep := m.order[:0]
 	for _, j := range m.order {
-		if j.state.Terminal() && (!j.expires.After(now) || m.terminal > m.maxJobs) {
+		if j.state.Terminal() && (!j.expires.After(now) || m.terminal > low) {
 			m.terminal--
 			delete(m.byID, j.id)
 			m.expired++
@@ -341,6 +385,17 @@ func (m *jobManager) sweepLocked(now time.Time) {
 		m.order[i] = nil
 	}
 	m.order = keep
+}
+
+// lowWaterLocked is the retention level a cap-triggered sweep drains to:
+// 1/8 below MaxJobs, so successive sweeps are at least maxJobs/8
+// submissions apart.
+func (m *jobManager) lowWaterLocked() int {
+	low := m.maxJobs - m.maxJobs/8
+	if low < 1 {
+		low = 1
+	}
+	return low
 }
 
 // get resolves a job by id. Only the looked-up job's own TTL is checked
@@ -423,26 +478,33 @@ func (m *jobManager) list() []JobInfo {
 
 // outcome converts a terminal job into the sync-path result. The estimate
 // is cloned so callers can mutate their copy without corrupting the
-// retained one.
+// retained one; the clone happens after unlocking — a terminal job's
+// estimate is never rewritten, so only the struct read needs the mutex.
 func (m *jobManager) outcome(j *job) (EstimateResult, error) {
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	if !j.state.Terminal() {
+		m.mu.Unlock()
 		return EstimateResult{}, fmt.Errorf("%w (%s is %s)", ErrJobNotDone, j.id, j.state)
 	}
 	if j.state == JobCanceled {
+		m.mu.Unlock()
 		// Both sentinels are wrapped: errors.Is sees the cancellation
 		// cause and the gone-result condition.
 		return EstimateResult{}, fmt.Errorf("%w (%w)", ErrJobCanceled, j.err)
 	}
 	if j.err != nil {
-		return EstimateResult{}, j.err
+		err := j.err
+		m.mu.Unlock()
+		return EstimateResult{}, err
 	}
-	return EstimateResult{
-		Estimate: clone(j.est),
+	res := EstimateResult{
+		Estimate: j.est,
 		Cached:   j.cached,
 		Elapsed:  j.finished.Sub(j.created),
-	}, nil
+	}
+	m.mu.Unlock()
+	res.Estimate = clone(res.Estimate)
+	return res, nil
 }
 
 // arm starts the job's deadline watchdog: when it fires before the job
@@ -493,5 +555,6 @@ func (m *jobManager) stats() JobsStats {
 		Expired:   m.expired,
 		Active:    len(m.order) - m.terminal,
 		Retained:  len(m.order),
+		LockWait:  m.mu.wait(),
 	}
 }

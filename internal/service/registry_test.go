@@ -16,7 +16,7 @@ func plSpec(seed int64) service.GraphSpec {
 // size estimates.
 func graphBytes(t *testing.T, seed int64) int64 {
 	t.Helper()
-	r := service.NewRegistry(0)
+	r := service.NewRegistry(0, 1)
 	h, err := r.Add(plSpec(seed))
 	if err != nil {
 		t.Fatal(err)
@@ -26,7 +26,7 @@ func graphBytes(t *testing.T, seed int64) int64 {
 }
 
 func TestRegistryDedupesBySource(t *testing.T) {
-	r := service.NewRegistry(0)
+	r := service.NewRegistry(0, 1)
 	h1, err := r.Add(plSpec(1))
 	if err != nil {
 		t.Fatal(err)
@@ -53,7 +53,7 @@ func TestRegistryDedupesBySource(t *testing.T) {
 }
 
 func TestRegistryAcquireByIDAndName(t *testing.T) {
-	r := service.NewRegistry(0)
+	r := service.NewRegistry(0, 1)
 	spec := plSpec(1)
 	spec.Name = "mygraph"
 	h, err := r.Add(spec)
@@ -77,7 +77,7 @@ func TestRegistryAcquireByIDAndName(t *testing.T) {
 }
 
 func TestRegistryNameCollision(t *testing.T) {
-	r := service.NewRegistry(0)
+	r := service.NewRegistry(0, 1)
 	a := plSpec(1)
 	a.Name = "taken"
 	h, err := r.Add(a)
@@ -93,7 +93,7 @@ func TestRegistryNameCollision(t *testing.T) {
 }
 
 func TestRegistryRejectsAmbiguousSpec(t *testing.T) {
-	r := service.NewRegistry(0)
+	r := service.NewRegistry(0, 1)
 	if _, err := r.Add(service.GraphSpec{}); err == nil {
 		t.Error("empty spec accepted")
 	}
@@ -105,7 +105,7 @@ func TestRegistryRejectsAmbiguousSpec(t *testing.T) {
 func TestRegistryLRUEvictionRespectsRefsAndRecency(t *testing.T) {
 	one := graphBytes(t, 1)
 	// Budget fits two graphs but not three.
-	r := service.NewRegistry(2*one + one/2)
+	r := service.NewRegistry(2*one+one/2, 1)
 
 	h1, err := r.Add(plSpec(1))
 	if err != nil {
@@ -153,7 +153,7 @@ func TestRegistryLRUEvictionRespectsRefsAndRecency(t *testing.T) {
 // nil.
 func TestRegistryEvictionClearsAliases(t *testing.T) {
 	one := graphBytes(t, 1)
-	r := service.NewRegistry(one + one/2) // fits one graph only
+	r := service.NewRegistry(one+one/2, 1) // fits one graph only
 
 	h, err := r.Add(plSpec(1))
 	if err != nil {
@@ -189,7 +189,7 @@ func TestRegistryEvictionClearsAliases(t *testing.T) {
 // an auto id would later take ("g2") and checks the auto id does not
 // hijack the byRef entry.
 func TestRegistryAutoIDSkipsSquattedNames(t *testing.T) {
-	r := service.NewRegistry(0)
+	r := service.NewRegistry(0, 1)
 	squat := plSpec(1)
 	squat.Name = "g2"
 	h1, err := r.Add(squat) // gets id g1, name g2
@@ -216,7 +216,7 @@ func TestRegistryAutoIDSkipsSquattedNames(t *testing.T) {
 }
 
 func TestRegistryConcurrentAdd(t *testing.T) {
-	r := service.NewRegistry(0)
+	r := service.NewRegistry(0, 1)
 	const workers = 8
 	ids := make([]string, workers)
 	var wg sync.WaitGroup
@@ -245,7 +245,7 @@ func TestRegistryConcurrentAdd(t *testing.T) {
 }
 
 func TestFingerprintDistinguishesTopology(t *testing.T) {
-	r := service.NewRegistry(0)
+	r := service.NewRegistry(0, 1)
 	h1, err := r.Add(plSpec(1))
 	if err != nil {
 		t.Fatal(err)

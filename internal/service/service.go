@@ -31,6 +31,13 @@ type Options struct {
 	QueueDepth int
 	// CacheCapacity bounds the result cache in entries (≤ 0 means 4096).
 	CacheCapacity int
+	// Shards is the number of independent stripes the graph registry and
+	// result cache are partitioned into; registrations, handle acquires,
+	// and cache lookups on different shards never contend on one mutex
+	// (≤ 0 means DefaultShards: twice the core count, clamped to [8, 32]).
+	// Results are bit-identical at every shard count — sharding changes
+	// lock structure, not cache keys or values.
+	Shards int
 	// GraphBudgetBytes bounds the registry's resident graph memory
 	// (≤ 0 means 1 GiB).
 	GraphBudgetBytes int64
@@ -77,6 +84,7 @@ func (o Options) withDefaults() Options {
 	if o.CacheCapacity <= 0 {
 		o.CacheCapacity = 4096
 	}
+	o.Shards = normShards(o.Shards)
 	if o.GraphBudgetBytes <= 0 {
 		o.GraphBudgetBytes = 1 << 30
 	}
@@ -125,8 +133,8 @@ func New(opts Options) *Service {
 	opts = opts.withDefaults()
 	return &Service{
 		opts:  opts,
-		reg:   NewRegistry(opts.GraphBudgetBytes),
-		cache: NewCache(opts.CacheCapacity),
+		reg:   NewRegistry(opts.GraphBudgetBytes, opts.Shards),
+		cache: NewCache(opts.CacheCapacity, opts.Shards),
 		sched: NewScheduler(opts.Workers, opts.QueueDepth),
 		jobs:  newJobManager(opts.JobTTL, opts.MaxJobs),
 		start: time.Now(),
@@ -141,6 +149,8 @@ func New(opts Options) *Service {
 func (s *Service) Close() {
 	s.jobs.shutdown()
 	s.sched.Close()
+	s.reg.Close()
+	s.cache.Close()
 }
 
 // Registry exposes the graph registry (for registration and listings).
@@ -411,10 +421,12 @@ func (s *Service) submitJob(req EstimateRequest, colorings func() [][]uint8) (*j
 		created:     time.Now(),
 		done:        make(chan struct{}),
 	}
+	// The id is formatted here, before any path takes the jobs mutex, so
+	// the allocation stays off the global critical section.
+	s.jobs.assignID(j)
 	if !req.NoCache {
 		if est, ok := s.cache.Get(key); ok {
 			h.Release()
-			relabel(&est, j.queryName, j.graphName)
 			s.jobs.addCached(j, est)
 			return j, nil
 		}
@@ -438,7 +450,6 @@ func (s *Service) submitJob(req EstimateRequest, colorings func() [][]uint8) (*j
 		if est, ok := s.cache.Get(key); ok {
 			jobs.mu.Unlock()
 			h.Release()
-			relabel(&est, j.queryName, j.graphName)
 			s.jobs.addCached(j, est)
 			return j, nil
 		}
@@ -772,6 +783,20 @@ func (s *Service) EstimateBatch(ctx context.Context, breq BatchRequest) ([]Batch
 	return items, nil
 }
 
+// ShardsStats is the per-shard breakdown of the registry and cache: one
+// entry per stripe, in shard order. Aggregate counters live in the
+// Registry/Cache rollups; this section exists to make skew and contention
+// visible — a hot shard shows up as an outlier row, and nonzero lock-wait
+// on many shards says the shard count is too low. Count is the registry's
+// stripe count (the resolved Options.Shards); the cache may run fewer
+// stripes when its capacity is smaller than the shard count (len(Cache)
+// and the cache rollup's own shards field are authoritative for it).
+type ShardsStats struct {
+	Count    int                  `json:"count"`
+	Registry []RegistryShardStats `json:"registry"`
+	Cache    []CacheShardStats    `json:"cache"`
+}
+
 // Stats is the service-wide observability snapshot.
 type Stats struct {
 	UptimeSeconds   float64        `json:"uptimeSeconds"`
@@ -782,6 +807,7 @@ type Stats struct {
 	Cache           CacheStats     `json:"cache"`
 	Scheduler       SchedulerStats `json:"scheduler"`
 	Jobs            JobsStats      `json:"jobs"`
+	Shards          ShardsStats    `json:"shards"`
 }
 
 // Stats returns the current counters of every layer.
@@ -795,5 +821,10 @@ func (s *Service) Stats() Stats {
 		Cache:           s.cache.Stats(),
 		Scheduler:       s.sched.Stats(),
 		Jobs:            s.jobs.stats(),
+		Shards: ShardsStats{
+			Count:    len(s.reg.shards),
+			Registry: s.reg.ShardStats(),
+			Cache:    s.cache.ShardStats(),
+		},
 	}
 }

@@ -1,0 +1,425 @@
+package service
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/coloring"
+)
+
+// specOnShard searches seeds for a powerlaw spec whose source key lands on
+// the wanted shard of an n-shard registry, so tests can place graphs
+// deliberately. Seeds also steer topology, so every returned spec is a
+// distinct graph.
+func specOnShard(t *testing.T, n, want int, avoid map[int64]bool) GraphSpec {
+	t.Helper()
+	for seed := int64(1); seed < 10000; seed++ {
+		if avoid[seed] {
+			continue
+		}
+		sp := GraphSpec{PowerLawN: 500, Alpha: 1.6, Seed: seed}
+		nsp, err := sp.normalize()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if stringShard(nsp.sourceKey(), n) == want {
+			avoid[seed] = true
+			return sp
+		}
+	}
+	t.Fatalf("no powerlaw seed in [1,10000) lands on shard %d/%d", want, n)
+	return GraphSpec{}
+}
+
+// oneGraphBytes measures the resident size the registry charges for one
+// 500-vertex powerlaw graph.
+func oneGraphBytes(t *testing.T) int64 {
+	t.Helper()
+	r := NewRegistry(0, 1)
+	defer r.Close()
+	h, err := r.Add(GraphSpec{PowerLawN: 500, Alpha: 1.6, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Release()
+	return r.Stats().Bytes
+}
+
+// TestCrossShardEvictionIsolation is the sharding safety contract: a
+// refcounted handle on shard A must never be evicted by pressure on shard
+// B — each shard only ever evicts its own idle entries. The test pins one
+// graph, floods every shard (the pinned one included) far past the global
+// budget from concurrent goroutines, interleaves rebalances, and checks
+// the pinned graph survives with its identity intact. Run under -race.
+func TestCrossShardEvictionIsolation(t *testing.T) {
+	const shards = 4
+	one := oneGraphBytes(t)
+	r := NewRegistry(3*one+one/2, shards) // fits ~3 graphs; the flood is 24
+	defer r.Close()
+
+	taken := make(map[int64]bool)
+	pinSpec := specOnShard(t, shards, 0, taken)
+	pinned, err := r.Add(pinSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantFP := pinned.Fingerprint()
+	wantID := pinned.ID()
+
+	// Flood every shard concurrently: 6 graphs per shard, each acquired,
+	// re-acquired, and released, while the pinned handle stays held.
+	var wg sync.WaitGroup
+	for s := 0; s < shards; s++ {
+		specs := make([]GraphSpec, 6)
+		for i := range specs {
+			specs[i] = specOnShard(t, shards, s, taken)
+		}
+		wg.Add(1)
+		go func(specs []GraphSpec) {
+			defer wg.Done()
+			for _, sp := range specs {
+				h, err := r.Add(sp)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if h.Graph() == nil {
+					t.Error("held handle has nil graph")
+				}
+				again, ok := r.Acquire(h.ID())
+				if ok {
+					if again.Graph() == nil {
+						t.Error("re-acquired handle has nil graph")
+					}
+					again.Release()
+				}
+				h.Release()
+			}
+		}(specs)
+	}
+	// Rebalance concurrently with the flood: budget reshuffling must not
+	// touch referenced entries either.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 50; i++ {
+			r.rebalance()
+		}
+	}()
+	wg.Wait()
+
+	if st := r.Stats(); st.Evictions == 0 {
+		t.Fatalf("flood caused no evictions; budget too high for the test: %+v", st)
+	}
+	if pinned.Graph() == nil {
+		t.Fatal("pinned handle's graph was evicted out from under it")
+	}
+	if pinned.Fingerprint() != wantFP {
+		t.Fatal("pinned handle changed identity")
+	}
+	got, ok := r.Acquire(wantID)
+	if !ok {
+		t.Fatal("pinned graph no longer resolvable by id")
+	}
+	if got.Fingerprint() != wantFP {
+		t.Error("pinned id resolves to a different graph")
+	}
+	got.Release()
+	pinned.Release()
+}
+
+// TestRegistryRebalanceShiftsBudget loads one shard far beyond the even
+// split while the others stay empty, and checks the rebalancer hands the
+// loaded shard the idle shards' headroom: everything fits the global
+// budget, so nothing may be evicted — under static even allotments it
+// would be.
+func TestRegistryRebalanceShiftsBudget(t *testing.T) {
+	const shards = 4
+	one := oneGraphBytes(t)
+	// Global budget fits 3 graphs, but an even split per shard fits ~0.75.
+	r := NewRegistry(3*one+one/2, shards)
+	defer r.Close()
+
+	taken := make(map[int64]bool)
+	var handles []*Handle
+	for i := 0; i < 3; i++ {
+		h, err := r.Add(specOnShard(t, shards, 1, taken))
+		if err != nil {
+			t.Fatal(err)
+		}
+		handles = append(handles, h)
+	}
+	for _, h := range handles {
+		h.Release()
+	}
+	r.rebalance()
+	st := r.Stats()
+	if st.Evictions != 0 {
+		t.Errorf("evictions under global budget: %+v", st)
+	}
+	if st.Graphs != 3 {
+		t.Errorf("graphs = %d, want 3 resident", st.Graphs)
+	}
+	ss := r.ShardStats()
+	if ss[1].BudgetBytes <= r.budget/shards {
+		t.Errorf("loaded shard budget %d not grown past even split %d", ss[1].BudgetBytes, r.budget/shards)
+	}
+}
+
+// TestRebalanceRestoresGlobalBudgetAroundPins: when one shard's
+// residents are all pinned past its fair share, the unevictable overhang
+// must shrink the other shards' allotments so their idle entries get
+// evicted — the global budget contract of the unsharded registry, which
+// would have evicted the idle graphs no matter which shard held them.
+func TestRebalanceRestoresGlobalBudgetAroundPins(t *testing.T) {
+	const shards = 4
+	one := oneGraphBytes(t)
+	budget := 3*one + one/2
+	r := NewRegistry(budget, shards)
+	defer r.Close()
+
+	taken := make(map[int64]bool)
+	// Pin two graphs on shard 1 (held handles — unevictable).
+	var pins []*Handle
+	for i := 0; i < 2; i++ {
+		h, err := r.Add(specOnShard(t, shards, 1, taken))
+		if err != nil {
+			t.Fatal(err)
+		}
+		pins = append(pins, h)
+	}
+	// Two idle graphs on shard 0: global is now ~4×one > budget, but
+	// shard 0 may sit under its own allotment until the rebalancer
+	// accounts for shard 1's pinned overhang.
+	for i := 0; i < 2; i++ {
+		h, err := r.Add(specOnShard(t, shards, 0, taken))
+		if err != nil {
+			t.Fatal(err)
+		}
+		h.Release()
+	}
+	for i := 0; i < 3; i++ {
+		r.rebalance()
+	}
+	if got := r.bytes.Load(); got > budget {
+		t.Errorf("resident bytes %d still over global budget %d after rebalancing around pins", got, budget)
+	}
+	for _, h := range pins {
+		if h.Graph() == nil {
+			t.Fatal("pinned graph evicted")
+		}
+		h.Release()
+	}
+}
+
+// TestCacheRebalanceFollowsDemand drives all traffic at keys on one shard
+// and checks the rebalancer moves capacity there from the idle shards.
+func TestCacheRebalanceFollowsDemand(t *testing.T) {
+	const shards = 4
+	c := NewCache(64, shards)
+	defer c.Close()
+
+	// Find keys all hashing to shard 2.
+	var keys []Key
+	for i := 0; len(keys) < 40; i++ {
+		k := Key{Graph: uint64(i), Query: "k3:6:5:3", Trials: 3, Seed: 1, Ranks: 4}
+		if int(k.hash()%uint64(shards)) == 2 {
+			keys = append(keys, k)
+		}
+	}
+	for _, k := range keys {
+		c.Put(k, coloring.Estimate{Query: fmt.Sprintf("g%d", k.Graph), Matches: float64(k.Graph)})
+	}
+	for _, k := range keys {
+		if _, ok := c.Get(k); !ok && c.shards[2].cap >= len(keys) {
+			t.Errorf("key %d missing despite capacity", k.Graph)
+		}
+	}
+	c.rebalance()
+	ss := c.ShardStats()
+	even := 64 / shards
+	if ss[2].Capacity <= even {
+		t.Errorf("hot shard capacity %d not grown past even split %d", ss[2].Capacity, even)
+	}
+	total := 0
+	for _, s := range ss {
+		total += s.Capacity
+		if s.Entries > s.Capacity {
+			t.Errorf("shard holds %d entries over capacity %d", s.Entries, s.Capacity)
+		}
+	}
+	if total > 64 {
+		t.Errorf("allotments sum to %d, global capacity is 64", total)
+	}
+	// The hot working set should now (after another fill) fit better than
+	// an even split would ever allow.
+	for _, k := range keys {
+		c.Put(k, coloring.Estimate{Query: fmt.Sprintf("g%d", k.Graph), Matches: float64(k.Graph)})
+	}
+	if got := c.ShardStats()[2].Entries; got <= even {
+		t.Errorf("hot shard holds %d entries, want more than the even split %d", got, even)
+	}
+}
+
+// TestCacheRebalanceProtectsUnderCapacity: while the cache as a whole is
+// under its global capacity, a demand shift must not evict another
+// shard's resident entries — the unsharded cache only ever evicted when
+// full, and sharding must not invent eviction pressure.
+func TestCacheRebalanceProtectsUnderCapacity(t *testing.T) {
+	const shards = 4
+	c := NewCache(256, shards) // far more capacity than the test populates
+	defer c.Close()
+
+	keysOn := func(shard, n int) []Key {
+		var ks []Key
+		for i := 0; len(ks) < n; i++ {
+			k := Key{Graph: uint64(i), Query: "k3:6:5:3", Trials: 3, Seed: 1, Ranks: 4}
+			if int(k.hash()%uint64(shards)) == shard {
+				ks = append(ks, k)
+			}
+		}
+		return ks
+	}
+	resident := keysOn(0, 50)
+	for _, k := range resident {
+		c.Put(k, coloring.Estimate{Matches: float64(k.Graph)})
+	}
+	// A full demand window on a different shard, then several rebalances:
+	// shard 0 shows zero demand every pass.
+	hot := keysOn(3, 10)
+	for round := 0; round < 5; round++ {
+		for _, k := range hot {
+			c.Put(k, coloring.Estimate{Matches: float64(k.Graph)})
+			c.Get(k)
+		}
+		c.rebalance()
+	}
+	st := c.Stats()
+	if st.Evictions != 0 {
+		t.Fatalf("rebalance evicted %d entries while cache at %d/%d capacity",
+			st.Evictions, st.Entries, st.Capacity)
+	}
+	for _, k := range resident {
+		if _, ok := c.Get(k); !ok {
+			t.Fatalf("resident key %d lost from quiet shard under global headroom", k.Graph)
+		}
+	}
+}
+
+// TestCacheRebalanceNeverZerosACap reproduces the review scenario: one
+// shard's allotment grows and fills, then demand shifts entirely to
+// another shard while the cache is under global capacity. Quiet empty
+// shards must keep a cap of at least 1 — a zero cap would make the next
+// Put on them spin forever against an empty LRU — and Puts on every
+// shard must still complete.
+func TestCacheRebalanceNeverZerosACap(t *testing.T) {
+	const shards = 4
+	c := NewCache(64, shards)
+	defer c.Close()
+
+	keysOn := func(shard, n int) []Key {
+		var ks []Key
+		for i := 0; len(ks) < n; i++ {
+			k := Key{Graph: uint64(i), Query: "k3:6:5:3", Trials: 3, Seed: 1, Ranks: 4}
+			if int(k.hash()%uint64(shards)) == shard {
+				ks = append(ks, k)
+			}
+		}
+		return ks
+	}
+	// Grow shard 0's allotment and fill it.
+	for _, k := range keysOn(0, 52) {
+		c.Put(k, coloring.Estimate{Matches: float64(k.Graph)})
+		c.Get(k)
+	}
+	c.rebalance()
+	// Shift all demand to shard 1; shards 2 and 3 are quiet and empty.
+	for round := 0; round < 3; round++ {
+		for _, k := range keysOn(1, 8) {
+			c.Put(k, coloring.Estimate{Matches: float64(k.Graph)})
+			c.Get(k)
+		}
+		c.rebalance()
+	}
+	total := 0
+	for i, ss := range c.ShardStats() {
+		if ss.Capacity < 1 {
+			t.Fatalf("shard %d allotted capacity %d; a zero cap hangs the next Put", i, ss.Capacity)
+		}
+		total += ss.Capacity
+	}
+	if total > 64 {
+		t.Errorf("allotments sum to %d, global capacity is 64", total)
+	}
+	// Every shard must still accept a Put (completes, does not hang).
+	for s := 0; s < shards; s++ {
+		k := keysOn(s, 60)[59] // a fresh key for this shard
+		c.Put(k, coloring.Estimate{Matches: 1})
+	}
+}
+
+// TestClaimNameOverwritesEvictedHolder covers the eviction/registration
+// race distilled: a name whose index entry points at a mid-eviction
+// entry (marked dead, names not yet dropped) must be claimable by a new
+// registration, not reported as a conflict.
+func TestClaimNameOverwritesEvictedHolder(t *testing.T) {
+	r := NewRegistry(0, 2)
+	defer r.Close()
+	taken := make(map[int64]bool)
+	sp := specOnShard(t, 2, 0, taken)
+	sp.Name = "flip"
+	h, err := r.Add(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Release()
+	// Freeze the entry mid-eviction: dead, but "flip" still in the index.
+	e, ok := r.lookupRef("flip")
+	if !ok {
+		t.Fatal("flip not registered")
+	}
+	e.shard.mu.Lock()
+	e.evicted.Store(true)
+	e.shard.mu.Unlock()
+
+	reclaim := specOnShard(t, 2, 1, taken) // different source, other shard
+	reclaim.Name = "flip"
+	h2, err := r.Add(reclaim)
+	if err != nil {
+		t.Fatalf("re-registering a mid-eviction name failed: %v", err)
+	}
+	defer h2.Release()
+	got, ok := r.Acquire("flip")
+	if !ok {
+		t.Fatal("reclaimed name does not resolve")
+	}
+	if got.Fingerprint() != h2.Fingerprint() {
+		t.Error("reclaimed name resolves to the dead entry")
+	}
+	got.Release()
+}
+
+// TestWaitMutexCountsContention holds the lock while another goroutine
+// blocks on it, and checks the wait is recorded. Whether a particular
+// attempt contends is up to the scheduler, so the experiment retries
+// until one does.
+func TestWaitMutexCountsContention(t *testing.T) {
+	var m waitMutex
+	for attempt := 0; attempt < 100 && m.wait().Waits == 0; attempt++ {
+		m.Lock()
+		done := make(chan struct{})
+		go func() {
+			m.Lock()
+			m.Unlock()
+			close(done)
+		}()
+		time.Sleep(2 * time.Millisecond) // let the goroutine reach the blocked Lock
+		m.Unlock()
+		<-done
+	}
+	if w := m.wait(); w.Waits == 0 {
+		t.Error("contended Lock never recorded a wait")
+	}
+}

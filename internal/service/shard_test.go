@@ -1,0 +1,251 @@
+package service_test
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"testing"
+
+	subgraph "repro"
+	"repro/internal/service"
+)
+
+// TestShardedCacheEquivalence runs the same operation sequence against a
+// 1-shard and an 8-shard cache whose working set fits the capacity, and
+// checks hits, misses, and returned values agree: sharding changes lock
+// structure, not semantics.
+func TestShardedCacheEquivalence(t *testing.T) {
+	c1 := service.NewCache(64, 1)
+	defer c1.Close()
+	c8 := service.NewCache(64, 8)
+	defer c8.Close()
+
+	for i := 0; i < 48; i++ {
+		c1.Put(key(i), est(i))
+		c8.Put(key(i), est(i))
+	}
+	for i := 0; i < 48; i++ {
+		v1, ok1 := c1.Get(key(i))
+		v8, ok8 := c8.Get(key(i))
+		if ok1 != ok8 {
+			t.Fatalf("key %d: presence differs: 1-shard %v, 8-shard %v", i, ok1, ok8)
+		}
+		if !reflect.DeepEqual(v1, v8) {
+			t.Fatalf("key %d: values differ:\n1-shard %+v\n8-shard %+v", i, v1, v8)
+		}
+	}
+	st1, st8 := c1.Stats(), c8.Stats()
+	if st1.Hits != st8.Hits || st1.Misses != st8.Misses || st1.Entries != st8.Entries {
+		t.Errorf("counters diverged: 1-shard %+v, 8-shard %+v", st1, st8)
+	}
+}
+
+// TestShardedRegistryEquivalence registers the same graphs sequentially in
+// a 1-shard and an 8-shard registry and checks ids, names, fingerprints,
+// and listing order all match.
+func TestShardedRegistryEquivalence(t *testing.T) {
+	r1 := service.NewRegistry(0, 1)
+	defer r1.Close()
+	r8 := service.NewRegistry(0, 8)
+	defer r8.Close()
+
+	for seed := int64(1); seed <= 6; seed++ {
+		sp := plSpec(seed)
+		if seed == 3 {
+			sp.Name = "named"
+		}
+		h1, err1 := r1.Add(sp)
+		h8, err8 := r8.Add(sp)
+		if err1 != nil || err8 != nil {
+			t.Fatalf("seed %d: errs %v / %v", seed, err1, err8)
+		}
+		if h1.ID() != h8.ID() || h1.Fingerprint() != h8.Fingerprint() {
+			t.Fatalf("seed %d: 1-shard (%s, %x) vs 8-shard (%s, %x)",
+				seed, h1.ID(), h1.Fingerprint(), h8.ID(), h8.Fingerprint())
+		}
+		h1.Release()
+		h8.Release()
+	}
+	l1, l8 := r1.List(), r8.List()
+	if !reflect.DeepEqual(l1, l8) {
+		t.Errorf("listings diverged:\n1-shard %+v\n8-shard %+v", l1, l8)
+	}
+	for _, ref := range []string{"g1", "named", "g6"} {
+		a, ok1 := r1.Acquire(ref)
+		b, ok8 := r8.Acquire(ref)
+		if !ok1 || !ok8 {
+			t.Fatalf("ref %q: resolvable 1-shard=%v 8-shard=%v", ref, ok1, ok8)
+		}
+		if a.Fingerprint() != b.Fingerprint() {
+			t.Errorf("ref %q resolves to different graphs", ref)
+		}
+		a.Release()
+		b.Release()
+	}
+}
+
+// TestServiceShardedBitIdentical is the tentpole acceptance check at the
+// service level: the same estimates and batches against a 1-shard and a
+// multi-shard service return bit-identical results, cold and cached.
+func TestServiceShardedBitIdentical(t *testing.T) {
+	newSvc := func(shards int) *subgraph.Service {
+		svc := subgraph.NewService(subgraph.ServiceOptions{Workers: 2, Shards: shards})
+		t.Cleanup(svc.Close)
+		if _, err := svc.AddGraph(subgraph.GraphSpec{Standin: "enron", Scale: 512, Seed: 1, Name: "g"}); err != nil {
+			t.Fatal(err)
+		}
+		return svc
+	}
+	s1, s8 := newSvc(1), newSvc(8)
+
+	reqs := []subgraph.EstimateRequest{
+		{Graph: "g", Query: "glet1", Trials: 3, Seed: 7},
+		{Graph: "g", Query: "cycle5", Trials: 2, Seed: 1},
+		{Graph: "g", Query: "path4", Trials: 2, Seed: 1, Algorithm: "PS"},
+		{Graph: "g", Query: "glet1", Trials: 3, Seed: 7}, // repeat: cache-hit path
+	}
+	for i, req := range reqs {
+		a, errA := s1.Estimate(context.Background(), req)
+		b, errB := s8.Estimate(context.Background(), req)
+		if errA != nil || errB != nil {
+			t.Fatalf("req %d: errs %v / %v", i, errA, errB)
+		}
+		if !reflect.DeepEqual(a.Estimate, b.Estimate) {
+			t.Fatalf("req %d: estimates diverged:\n1-shard %+v\n8-shard %+v", i, a.Estimate, b.Estimate)
+		}
+		if a.Cached != b.Cached {
+			t.Errorf("req %d: cached flag diverged: %v vs %v", i, a.Cached, b.Cached)
+		}
+	}
+
+	breq := subgraph.BatchRequest{
+		Graph: "g", Seed: 5, Trials: 2,
+		Queries: []subgraph.EstimateRequest{{Query: "glet1"}, {Query: "star4"}, {Query: "cycle4"}},
+	}
+	ia, errA := s1.EstimateBatch(context.Background(), breq)
+	ib, errB := s8.EstimateBatch(context.Background(), breq)
+	if errA != nil || errB != nil {
+		t.Fatalf("batch errs: %v / %v", errA, errB)
+	}
+	for i := range ia {
+		if ia[i].Err != nil || ib[i].Err != nil {
+			t.Fatalf("batch item %d: errs %v / %v", i, ia[i].Err, ib[i].Err)
+		}
+		if !reflect.DeepEqual(ia[i].Result.Estimate, ib[i].Result.Estimate) {
+			t.Fatalf("batch item %d diverged:\n1-shard %+v\n8-shard %+v", i, ia[i].Result.Estimate, ib[i].Result.Estimate)
+		}
+	}
+}
+
+// TestStatsShardsSection checks /v1/stats exposes the per-shard breakdown:
+// a count matching the configured shards and one rollup row per shard with
+// the lock-wait counters present.
+func TestStatsShardsSection(t *testing.T) {
+	svc := subgraph.NewService(subgraph.ServiceOptions{Workers: 1, Shards: 4, CacheCapacity: 64})
+	t.Cleanup(svc.Close)
+	ts := httptest.NewServer(svc.Handler())
+	t.Cleanup(ts.Close)
+
+	post(t, ts, "/v1/graphs", `{"powerlaw":300,"seed":1,"name":"s"}`, http.StatusOK)
+	post(t, ts, "/v1/estimate", `{"graph":"s","query":"path3","trials":1,"seed":1}`, http.StatusOK)
+
+	var st struct {
+		Registry struct {
+			Shards    int     `json:"shards"`
+			LockWaits *uint64 `json:"lockWaits"`
+		} `json:"registry"`
+		Shards struct {
+			Count    int               `json:"count"`
+			Registry []json.RawMessage `json:"registry"`
+			Cache    []json.RawMessage `json:"cache"`
+		} `json:"shards"`
+	}
+	get(t, ts, "/v1/stats", &st)
+	if st.Shards.Count != 4 {
+		t.Errorf("shards.count = %d, want 4", st.Shards.Count)
+	}
+	if len(st.Shards.Registry) != 4 || len(st.Shards.Cache) != 4 {
+		t.Errorf("per-shard rows: registry %d, cache %d, want 4 each",
+			len(st.Shards.Registry), len(st.Shards.Cache))
+	}
+	if st.Registry.Shards != 4 {
+		t.Errorf("registry.shards = %d, want 4", st.Registry.Shards)
+	}
+	if st.Registry.LockWaits == nil {
+		t.Error("registry rollup is missing the lockWaits counter")
+	}
+	var row struct {
+		Graphs     *int     `json:"graphs"`
+		LockWaitMS *float64 `json:"lockWaitMs"`
+	}
+	if err := json.Unmarshal(st.Shards.Registry[0], &row); err != nil {
+		t.Fatal(err)
+	}
+	if row.Graphs == nil || row.LockWaitMS == nil {
+		t.Errorf("shard row missing graphs/lockWaitMs: %s", st.Shards.Registry[0])
+	}
+}
+
+// TestShardedConcurrentServiceChurn hammers one multi-shard service with
+// concurrent estimates over several graphs under -race, then verifies a
+// golden request still returns the bit-exact library result.
+func TestShardedConcurrentServiceChurn(t *testing.T) {
+	svc := subgraph.NewService(subgraph.ServiceOptions{Workers: 4, Shards: 8})
+	t.Cleanup(svc.Close)
+	for i := int64(1); i <= 4; i++ {
+		if _, err := svc.AddGraph(subgraph.GraphSpec{PowerLawN: 400, Alpha: 1.6, Seed: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	graphs := svc.Registry().List()
+	done := make(chan error, 16)
+	for w := 0; w < 16; w++ {
+		go func(w int) {
+			var err error
+			for i := 0; i < 8 && err == nil; i++ {
+				req := subgraph.EstimateRequest{
+					Graph:  graphs[(w+i)%len(graphs)].ID,
+					Query:  []string{"path3", "cycle4", "star4"}[(w+i)%3],
+					Trials: 1, Seed: int64(i % 3),
+				}
+				_, err = svc.Estimate(context.Background(), req)
+			}
+			done <- err
+		}(w)
+	}
+	for w := 0; w < 16; w++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Golden check after the churn: served result == direct library call.
+	g, ok := subgraph.Standin("enron", 512, 1)
+	if !ok {
+		t.Fatal("unknown stand-in")
+	}
+	if _, err := svc.AddGraph(subgraph.GraphSpec{Standin: "enron", Scale: 512, Seed: 1, Name: "gold"}); err != nil {
+		t.Fatal(err)
+	}
+	q, err := subgraph.QueryByName("glet1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := subgraph.Estimate(g, q, subgraph.EstimateOptions{Trials: 3, Seed: 7, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := svc.Estimate(context.Background(), subgraph.EstimateRequest{
+		Graph: "gold", Query: "glet1", Trials: 3, Seed: 7, Ranks: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := res.Estimate
+	got.Graph = want.Graph // served display name differs by registration
+	if !reflect.DeepEqual(want, got) {
+		t.Errorf("served estimate diverged from library:\nwant %+v\ngot  %+v", want, got)
+	}
+}

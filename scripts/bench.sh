@@ -1,0 +1,104 @@
+#!/usr/bin/env bash
+# Benchmark the sgserve serving path end to end with cmd/sgload, and gate
+# CI on throughput regressions.
+#
+#   scripts/bench.sh           run, write BENCH_pr3.json, fail if the
+#                              sharded run's throughput drops more than
+#                              25% below scripts/bench_baseline.json
+#   scripts/bench.sh -update   run and overwrite the baseline instead
+#
+# Two runs with the identical seeded workload: the server's default shard
+# count ("sharded") and -shards 1 ("unsharded"), merged into one
+# BENCH_pr3.json at the repo root. The interesting numbers are
+# throughputRps / latencyMs per run and the server.*.lockWaitMs counters:
+# lock wait is where a too-coarse lock shows up first — on single-core
+# builders the two runs' throughput converges (a blocked goroutine costs
+# nothing when only one can run), while the lock-wait gap stays visible.
+#
+# The server runs under a pinned GOMAXPROCS so runs are comparable across
+# machines with different core counts; override via BENCH_* env vars.
+# Requires curl-less operation: sgload does its own health polling. jq is
+# required for the merge and the gate.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+MODE="${1:-}"
+DUR="${BENCH_DURATION:-5s}"
+WARMUP="${BENCH_WARMUP:-2s}"
+CONC="${BENCH_CONCURRENCY:-32}"
+SRV_GOMAXPROCS="${BENCH_SERVER_GOMAXPROCS:-4}"
+SRV_WORKERS="${BENCH_SERVER_WORKERS:-4}"
+OUT="BENCH_pr3.json"
+BASELINE="scripts/bench_baseline.json"
+# Threshold: fail when sharded throughput < 75% of baseline. Generous on
+# purpose — shared runners are noisy; this catches structural regressions
+# (an accidental global lock, an O(n) scan on the hot path), not jitter.
+DROP_FRACTION=0.75
+
+go build -o /tmp/sgserve ./cmd/sgserve
+go build -o /tmp/sgload ./cmd/sgload
+
+SERVER_PID=""
+cleanup() {
+  [ -n "$SERVER_PID" ] && kill "$SERVER_PID" 2>/dev/null || true
+}
+trap cleanup EXIT
+
+run_one() { # shards label outfile
+  local shards="$1" label="$2" outfile="$3"
+  local addrfile
+  addrfile=$(mktemp -u)
+  GOMAXPROCS="$SRV_GOMAXPROCS" /tmp/sgserve -addr 127.0.0.1:0 -addr-file "$addrfile" \
+    -workers "$SRV_WORKERS" -shards "$shards" >/dev/null 2>&1 &
+  SERVER_PID=$!
+  for _ in $(seq 1 100); do [ -s "$addrfile" ] && break; sleep 0.1; done
+  if [ ! -s "$addrfile" ]; then
+    echo "bench: sgserve never wrote its address" >&2
+    exit 1
+  fi
+  /tmp/sgload -addr "$(cat "$addrfile")" -c "$CONC" -duration "$DUR" -warmup "$WARMUP" \
+    -graphs 4 -graph-n 1000 -queries path3,cycle4 -hot 8 -hit-ratio 0.98 -seed 1 \
+    -label "$label" -out "$outfile"
+  kill "$SERVER_PID" 2>/dev/null || true
+  wait "$SERVER_PID" 2>/dev/null || true
+  SERVER_PID=""
+  rm -f "$addrfile"
+}
+
+run_one 0 sharded /tmp/bench_sharded.json
+run_one 1 unsharded /tmp/bench_unsharded.json
+
+jq -n --argjson conc "$CONC" \
+  --slurpfile s /tmp/bench_sharded.json --slurpfile u /tmp/bench_unsharded.json '{
+    bench: "sgserve serving path (closed-loop sgload)",
+    concurrency: $conc,
+    sharded: $s[0],
+    unsharded: $u[0]
+  }' >"$OUT"
+
+summary() {
+  jq -r '"\(.sharded.label):   \(.sharded.throughputRps|floor) req/s  p50 \(.sharded.latencyMs.p50Ms)ms  p99 \(.sharded.latencyMs.p99Ms)ms  lockWait reg \(.sharded.server.registry.lockWaitMs|floor)ms cache \(.sharded.server.cache.lockWaitMs|floor)ms jobs \(.sharded.server.jobs.lockWaitMs|floor)ms\n\(.unsharded.label): \(.unsharded.throughputRps|floor) req/s  p50 \(.unsharded.latencyMs.p50Ms)ms  p99 \(.unsharded.latencyMs.p99Ms)ms  lockWait reg \(.unsharded.server.registry.lockWaitMs|floor)ms cache \(.unsharded.server.cache.lockWaitMs|floor)ms jobs \(.unsharded.server.jobs.lockWaitMs|floor)ms"' "$OUT"
+}
+echo "bench: wrote $OUT"
+summary
+
+if [ "$MODE" = "-update" ]; then
+  cp "$OUT" "$BASELINE"
+  echo "bench: baseline updated at $BASELINE"
+  exit 0
+fi
+
+if [ ! -f "$BASELINE" ]; then
+  echo "bench: no baseline at $BASELINE (run scripts/bench.sh -update to create one)" >&2
+  exit 1
+fi
+cur=$(jq -r '.sharded.throughputRps' "$OUT")
+base=$(jq -r '.sharded.throughputRps' "$BASELINE")
+ok=$(jq -n --argjson cur "$cur" --argjson base "$base" --argjson f "$DROP_FRACTION" '$cur >= $f * $base')
+echo "bench: sharded throughput $cur req/s vs baseline $base req/s (floor: ${DROP_FRACTION}x)"
+if [ "$ok" != "true" ]; then
+  echo "FAIL: throughput dropped more than $(jq -n --argjson f "$DROP_FRACTION" '100*(1-$f)')% below the baseline" >&2
+  echo "      (if the baseline machine class changed, regenerate with scripts/bench.sh -update)" >&2
+  exit 1
+fi
+echo "bench OK"

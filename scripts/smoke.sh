@@ -7,16 +7,23 @@
 # DELETE cancels a long-running job. Requires curl and jq.
 set -euo pipefail
 
-ADDR="127.0.0.1:18080"
-BASE="http://$ADDR"
 GOLDEN_MATCHES="120868.05555555558"
 GOLDEN_COUNTS="[4418,8064,1442]"
 
 cd "$(dirname "$0")/.."
 go build -o /tmp/sgserve ./cmd/sgserve
-/tmp/sgserve -addr "$ADDR" -preload enron -scale 512 -seed 1 &
+# Bind port 0 and read the actual address back: a hardcoded port collides
+# with concurrent jobs on shared CI runners.
+ADDR_FILE=$(mktemp -u)
+/tmp/sgserve -addr 127.0.0.1:0 -addr-file "$ADDR_FILE" -preload enron -scale 512 -seed 1 &
 SERVER_PID=$!
-trap 'kill "$SERVER_PID" 2>/dev/null || true' EXIT
+trap 'kill "$SERVER_PID" 2>/dev/null || true; rm -f "$ADDR_FILE"' EXIT
+
+for _ in $(seq 1 100); do
+  [ -s "$ADDR_FILE" ] && break
+  sleep 0.1
+done
+BASE="http://$(cat "$ADDR_FILE")"
 
 for _ in $(seq 1 100); do
   curl -fsS "$BASE/healthz" >/dev/null 2>&1 && break
@@ -72,6 +79,6 @@ if [ "$canceled" != canceled ]; then
 fi
 echo "job $long canceled mid-run"
 
-coalesced=$(curl -fsS "$BASE/v1/stats" | jq .jobs.submitted)
-echo "stats: $coalesced jobs submitted"
+submitted=$(curl -fsS "$BASE/v1/stats" | jq .jobs.submitted)
+echo "stats: $submitted jobs submitted"
 echo "smoke OK"
