@@ -24,6 +24,7 @@ import (
 func main() {
 	var (
 		scale      = flag.Int("scale", 0, "stand-in size divisor (default 512)")
+		backend    = flag.String("backend", "", "execution backend: sim (default; metrics-faithful) or parallel")
 		workers    = flag.Int("workers", 0, "high simulated rank count (default 8)")
 		workersLow = flag.Int("workerslow", 0, "low simulated rank count (default 2)")
 		seed       = flag.Int64("seed", 1, "random seed")
@@ -34,6 +35,7 @@ func main() {
 	flag.Parse()
 	cfg := exp.Config{
 		Scale:      *scale,
+		Backend:    *backend,
 		Workers:    *workers,
 		WorkersLow: *workersLow,
 		Seed:       *seed,

@@ -31,7 +31,8 @@ func main() {
 		queryName = flag.String("query", "glet1", "query name (Figure 8 catalog, satellite, cycle<L>, path<L>, star<L>, bintree<L>)")
 		queryFile = flag.String("queryfile", "", "read the query graph from an edge-list file instead")
 		algName   = flag.String("alg", "DB", "cycle solver: DB (degree-based) or PS (path-splitting baseline)")
-		workers   = flag.Int("workers", 8, "simulated ranks")
+		backend   = flag.String("backend", "", "execution backend: sim (default) or parallel (shared-memory)")
+		workers   = flag.Int("workers", 8, "simulated ranks (sim) or worker goroutines (parallel)")
 		trials    = flag.Int("trials", 3, "independent colorings")
 		seed      = flag.Int64("seed", 1, "random seed")
 		exact     = flag.Bool("exact", false, "also brute-force the exact count (small graphs only)")
@@ -69,6 +70,7 @@ func main() {
 
 	est, err := subgraph.Estimate(g, q, subgraph.EstimateOptions{
 		Algorithm: alg,
+		Backend:   *backend,
 		Workers:   *workers,
 		Trials:    *trials,
 		Seed:      *seed,
@@ -82,8 +84,8 @@ func main() {
 	fmt.Printf("coefficient of variation: %.4f\n", est.CV)
 	if *stats {
 		s := est.Stats
-		fmt.Printf("engine: %d ranks, total load %d, max load %d, messages %d, table entries %d\n",
-			s.Workers, s.TotalLoad, s.MaxLoad, s.Messages, s.TableEntries)
+		fmt.Printf("engine: %s backend, %d workers, total load %d, max load %d, messages %d, steals %d, table entries %d\n",
+			s.Backend, s.Workers, s.TotalLoad, s.MaxLoad, s.Messages, s.Steals, s.TableEntries)
 	}
 	if *exact {
 		want := subgraph.ExactCount(g, q)
@@ -92,7 +94,7 @@ func main() {
 	if *pervertex > 0 {
 		colors := subgraph.RandomColoring(g, q, *seed)
 		per, anchor, _, err := subgraph.CountColorfulPerVertex(g, q, colors, -1,
-			subgraph.CountOptions{Algorithm: alg, Workers: *workers})
+			subgraph.CountOptions{Algorithm: alg, Backend: *backend, Workers: *workers})
 		if err != nil {
 			fatal(err)
 		}

@@ -48,6 +48,7 @@ type config struct {
 	Queries  string  `json:"queries"`
 	Trials   int     `json:"trials"`
 	Ranks    int     `json:"ranks"`
+	Backend  string  `json:"backend,omitempty"`
 	HitRatio float64 `json:"hitRatio"`
 	HotSeeds int     `json:"hotSeeds"`
 	Seed     int64   `json:"seed"`
@@ -83,11 +84,29 @@ type serverSide struct {
 		LockWaitMS float64 `json:"lockWaitMs"`
 	} `json:"cache"`
 	Jobs struct {
-		Submitted  uint64  `json:"submitted"`
-		Coalesced  uint64  `json:"coalesced"`
-		LockWaits  uint64  `json:"lockWaits"`
-		LockWaitMS float64 `json:"lockWaitMs"`
+		Submitted    uint64  `json:"submitted"`
+		Coalesced    uint64  `json:"coalesced"`
+		LockWaits    uint64  `json:"lockWaits"`
+		LockWaitMS   float64 `json:"lockWaitMs"`
+		Singleflight struct {
+			Keys       int     `json:"keys"`
+			Shards     int     `json:"shards"`
+			LockWaits  uint64  `json:"lockWaits"`
+			LockWaitMS float64 `json:"lockWaitMs"`
+		} `json:"singleflight"`
 	} `json:"jobs"`
+	Engine struct {
+		Backend  string `json:"backend"`
+		Workers  int    `json:"workers"`
+		Backends map[string]struct {
+			Runs      uint64 `json:"runs"`
+			Workers   int    `json:"workers"`
+			TotalLoad int64  `json:"totalLoad"`
+			MaxLoad   int64  `json:"maxLoad"`
+			Messages  int64  `json:"messages"`
+			Steals    int64  `json:"steals"`
+		} `json:"backends"`
+	} `json:"engine"`
 	Estimates uint64 `json:"estimates"`
 }
 
@@ -145,6 +164,9 @@ func (w *worker) run(deadline time.Time, record bool) {
 			"ranks":  w.cfg.Ranks,
 			"seed":   seed,
 		}
+		if w.cfg.Backend != "" {
+			req["backend"] = w.cfg.Backend
+		}
 		body, err := json.Marshal(req)
 		if err != nil {
 			log.Fatalf("sgload: marshal: %v", err)
@@ -193,7 +215,8 @@ func main() {
 	flag.Float64Var(&cfg.Alpha, "alpha", 1.6, "power-law exponent of the generated graphs")
 	flag.StringVar(&cfg.Queries, "queries", "path3,cycle4,star4,glet1", "comma-separated query mix")
 	flag.IntVar(&cfg.Trials, "trials", 1, "trials per estimate")
-	flag.IntVar(&cfg.Ranks, "ranks", 1, "simulated engine ranks per estimate")
+	flag.IntVar(&cfg.Ranks, "ranks", 1, "engine ranks (sim) or workers (parallel) per estimate")
+	flag.StringVar(&cfg.Backend, "backend", "", "execution backend sent with every request: sim or parallel (empty = server default)")
 	flag.Float64Var(&cfg.HitRatio, "hit-ratio", 0.9, "target cache-hit ratio in [0,1]")
 	flag.IntVar(&cfg.HotSeeds, "hot", 64, "size of the hot key set backing the hit ratio")
 	flag.Int64Var(&cfg.Seed, "seed", 1, "workload RNG seed (equal seeds replay the same mix)")

@@ -52,8 +52,9 @@ func main() {
 		budgetMB = flag.Int64("graph-budget-mb", 1024, "graph registry memory budget (MiB)")
 		trials   = flag.Int("trials", 3, "default trials per estimate")
 		maxTr    = flag.Int("max-trials", 1024, "reject requests asking for more trials than this")
-		maxRk    = flag.Int("max-ranks", 256, "reject requests asking for more simulated ranks than this")
-		ranks    = flag.Int("ranks", 4, "default simulated engine ranks per estimate")
+		maxRk    = flag.Int("max-ranks", 256, "reject requests asking for more engine ranks/workers than this")
+		ranks    = flag.Int("ranks", 4, "default engine ranks (sim) or workers (parallel) per estimate")
+		backend  = flag.String("backend", "", "default execution backend: sim (paper's simulated engine) or parallel (shared-memory); empty = $SUBGRAPH_BACKEND or sim")
 		timeout  = flag.Duration("timeout", 0, "default per-job deadline (0 = none)")
 		jobTTL   = flag.Duration("job-ttl", 10*time.Minute, "how long finished jobs stay fetchable via /v1/jobs")
 		maxJobs  = flag.Int("max-jobs", 4096, "max finished jobs retained before the oldest are dropped")
@@ -65,6 +66,12 @@ func main() {
 	)
 	flag.Parse()
 
+	// A bad -backend (or $SUBGRAPH_BACKEND) must kill the server here, not
+	// surface as a 400 on every request once traffic arrives.
+	if _, err := subgraph.CanonicalBackend(*backend); err != nil {
+		log.Fatalf("sgserve: -backend: %v", err)
+	}
+
 	svc := subgraph.NewService(subgraph.ServiceOptions{
 		Workers:          *workers,
 		QueueDepth:       *queue,
@@ -72,6 +79,7 @@ func main() {
 		Shards:           *shards,
 		GraphBudgetBytes: *budgetMB << 20,
 		DefaultTrials:    *trials,
+		Backend:          *backend,
 		DefaultRanks:     *ranks,
 		MaxTrials:        *maxTr,
 		MaxRanks:         *maxRk,

@@ -75,7 +75,12 @@ type Estimate struct {
 	// the query: Matches / aut(Q).
 	Subgraphs float64
 
-	Stats core.Stats // accumulated engine counters across trials
+	// Stats are the engine counters accumulated across trials. Every
+	// result-bearing field of an Estimate is bit-identical across
+	// backends, worker counts, and repeated runs; within Stats, Steals is
+	// the one exception — it is scheduling telemetry, and two fresh runs
+	// on the parallel backend may steal differently.
+	Stats core.Stats
 }
 
 // Draw pre-draws the trials independent colorings Run would use for an
@@ -209,11 +214,13 @@ func RunWithContext(ctx context.Context, g *graph.Graph, q *query.Graph, colorin
 }
 
 func accumulate(dst *core.Stats, s core.Stats) {
+	dst.Backend = s.Backend
 	dst.Workers = s.Workers
 	dst.TotalLoad += s.TotalLoad
 	dst.MaxLoad += s.MaxLoad
 	dst.AvgLoad += s.AvgLoad
 	dst.Messages += s.Messages
+	dst.Steals += s.Steals
 	dst.TableEntries += s.TableEntries
 }
 

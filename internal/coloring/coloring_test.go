@@ -178,6 +178,9 @@ func TestRunContextMatchesRun(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	// Steals is scheduling telemetry: two fresh runs on the parallel
+	// backend may steal differently without the results differing.
+	plain.Stats.Steals, ctxed.Stats.Steals = 0, 0
 	if !reflect.DeepEqual(plain, ctxed) {
 		t.Errorf("RunContext differs from Run:\n%+v\n%+v", plain, ctxed)
 	}

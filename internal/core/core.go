@@ -55,7 +55,15 @@ func (a Algorithm) String() string {
 // Options configures a counting run.
 type Options struct {
 	Algorithm Algorithm
-	// Workers is the number of simulated ranks; ≤ 0 means 4.
+	// Backend selects the execution runtime: "sim" (default; the paper's
+	// simulated distributed engine, metrics-faithful for Figure 11) or
+	// "parallel" (real shared-memory workers with direct table merges).
+	// Counts are bit-identical across backends; only Stats differ. An
+	// empty name falls back to $SUBGRAPH_BACKEND, then "sim".
+	Backend string
+	// Workers is the execution width: simulated ranks for the sim
+	// backend (≤ 0 means 4), real worker goroutines for parallel (≤ 0
+	// means GOMAXPROCS).
 	Workers int
 	// Plan overrides the decomposition tree; nil uses the calibrated §6
 	// planner (PickPlan).
@@ -66,11 +74,13 @@ type Options struct {
 // metric (projection-function operations, Figure 11), communication volume,
 // and table pressure.
 type Stats struct {
+	Backend      string // canonical backend name ("sim" or "parallel")
 	Workers      int
 	MaxLoad      int64
 	AvgLoad      float64
 	TotalLoad    int64
-	Messages     int64
+	Messages     int64 // simulated messages; always 0 for parallel
+	Steals       int64 // stolen partition tasks; always 0 for sim
 	TableEntries int64 // total projection-table entries materialized
 	Loads        []int64
 }
@@ -104,15 +114,15 @@ func CountColorfulContext(ctx context.Context, g *graph.Graph, q *query.Graph, c
 	if err := validate(g, q, colors, plan); err != nil {
 		return 0, Stats{}, err
 	}
-	workers := opts.Workers
-	if workers <= 0 {
-		workers = 4
+	be, err := engine.New(opts.Backend, opts.Workers, g.N())
+	if err != nil {
+		return 0, Stats{}, err
 	}
 	s := &solver{
 		ctx:     ctx,
 		g:       g,
 		colors:  colors,
-		cl:      engine.NewCluster(workers, g.N()),
+		be:      be,
 		alg:     opts.Algorithm,
 		tables:  make(map[*decomp.Block]*engine.Sharded),
 		grouped: make(map[groupKey][]map[uint32][]toEntry),
@@ -121,16 +131,23 @@ func CountColorfulContext(ctx context.Context, g *graph.Graph, q *query.Graph, c
 	if err := ctx.Err(); err != nil {
 		return 0, Stats{}, err
 	}
-	max, avg, total := s.cl.LoadStats()
-	return count, Stats{
-		Workers:      s.cl.P(),
+	return count, s.stats(), nil
+}
+
+// stats snapshots the backend counters of a finished run.
+func (s *solver) stats() Stats {
+	max, avg, total := s.be.LoadStats()
+	return Stats{
+		Backend:      s.be.Name(),
+		Workers:      s.be.Workers(),
 		MaxLoad:      max,
 		AvgLoad:      avg,
 		TotalLoad:    total,
-		Messages:     s.cl.Messages(),
+		Messages:     s.be.Messages(),
+		Steals:       s.be.Steals(),
 		TableEntries: s.entries,
-		Loads:        s.cl.Loads(),
-	}, nil
+		Loads:        s.be.Loads(),
+	}
 }
 
 func validate(g *graph.Graph, q *query.Graph, colors []uint8, plan *decomp.Tree) error {
@@ -161,7 +178,7 @@ type solver struct {
 	stop    atomic.Bool // latched ctx cancellation, visible to every worker
 	g       *graph.Graph
 	colors  []uint8
-	cl      *engine.Cluster
+	be      engine.Backend
 	alg     Algorithm
 	tables  map[*decomp.Block]*engine.Sharded
 	grouped map[groupKey][]map[uint32][]toEntry

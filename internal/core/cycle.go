@@ -39,7 +39,7 @@ type split struct {
 // solveCycle computes the projection table of a non-root cycle block:
 // unary for one boundary node, binary (Boundary[0], Boundary[1]) for two.
 func (s *solver) solveCycle(b *decomp.Block) *engine.Sharded {
-	out := engine.NewSharded(s.cl)
+	out := engine.NewSharded(s.be)
 	for _, sp := range s.splits(b) {
 		if s.aborted() {
 			break
@@ -54,7 +54,7 @@ func (s *solver) solveCycle(b *decomp.Block) *engine.Sharded {
 // solveRootCycle computes the total colorful-match count of a root cycle
 // block (no boundary nodes, §5.2 end).
 func (s *solver) solveRootCycle(b *decomp.Block) uint64 {
-	partial := make([]uint64, s.cl.P())
+	partial := make([]uint64, s.be.P())
 	for _, sp := range s.splits(b) {
 		if s.aborted() {
 			break
@@ -89,8 +89,8 @@ func (s *solver) solveLeaf(b *decomp.Block) *engine.Sharded {
 	}
 	walk := s.buildPath(spec)
 	// Project (π(leaf), π(a), α) ↦ (π(a), α): local, entries live at owner(V).
-	out := engine.NewSharded(s.cl)
-	s.cl.Run(func(w int) {
+	out := engine.NewSharded(s.be)
+	s.be.Run(func(w int) {
 		sh := out.Shard(w)
 		var load int64
 		var poll int
@@ -102,7 +102,7 @@ func (s *solver) solveLeaf(b *decomp.Block) *engine.Sharded {
 			sh.Add(table.Unary(k.V, k.S), c)
 			return true
 		})
-		s.cl.AddLoad(w, load)
+		s.be.AddLoad(w, load)
 	})
 	return s.track(out)
 }
@@ -218,7 +218,7 @@ func (s *solver) joinSplit(b *decomp.Block, sp split, plus, minus *engine.Sharde
 		k table.Key
 		c uint64
 	}
-	s.cl.Exchange(func(w int, emit func(int, engine.Msg)) {
+	produce := func(w int, emit func(int, engine.Msg)) {
 		idx := make(map[uint64][]mEntry)
 		minus.Shard(w).Iter(func(k table.Key, c uint64) bool {
 			uv := uint64(k.U)<<32 | uint64(k.V)
@@ -245,23 +245,30 @@ func (s *solver) joinSplit(b *decomp.Block, sp split, plus, minus *engine.Sharde
 					sum += total
 				case 1:
 					va := vertexAt(sp.locs[0], kp, e.k)
-					emit(s.cl.Owner(va), engine.Msg{K: table.Unary(va, comb), C: total})
+					emit(s.be.Owner(va), engine.Msg{K: table.Unary(va, comb), C: total})
 				case 2:
 					va := vertexAt(sp.locs[0], kp, e.k)
 					vb := vertexAt(sp.locs[1], kp, e.k)
-					emit(s.cl.Owner(vb), engine.Msg{K: table.Binary(va, vb, comb), C: total})
+					emit(s.be.Owner(vb), engine.Msg{K: table.Binary(va, vb, comb), C: total})
 				}
 			}
 			return true
 		})
-		s.cl.AddLoad(w, load)
+		s.be.AddLoad(w, load)
 		if partial != nil {
 			partial[w] += sum
 		}
-	}, func(w int, msgs []engine.Msg) {
-		if out != nil {
-			out.Accumulate(w, msgs)
-		}
+	}
+	if out != nil {
+		s.be.Step(out, produce)
+		return
+	}
+	// Root cycle (no boundary): every product folds into the local partial
+	// sum, so nothing is ever emitted — run the join without a superstep.
+	s.be.Run(func(w int) {
+		produce(w, func(int, engine.Msg) {
+			panic("core: root-cycle join emitted an entry")
+		})
 	})
 }
 

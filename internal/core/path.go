@@ -72,10 +72,10 @@ func applyRecord(k *table.Key, record int, v uint32) {
 // graph's edges (count 1 per edge per direction, signature {χ(u),χ(v)},
 // Figure 4/6 Procedure 1 line 1) or the annotating child block's table.
 func (s *solver) initEdge(spec pathSpec, st pathStep) *engine.Sharded {
-	out := engine.NewSharded(s.cl)
+	out := engine.NewSharded(s.be)
 	if st.edgeAnn == nil {
-		s.cl.Exchange(func(w int, emit func(int, engine.Msg)) {
-			lo, hi := s.cl.Range(w)
+		s.be.Step(out, func(w int, emit func(int, engine.Msg)) {
+			lo, hi := s.be.Range(w)
 			var load int64
 			var poll int
 			// The inner break exits one neighbor scan with the poll counter
@@ -97,15 +97,15 @@ func (s *solver) initEdge(spec pathSpec, st pathStep) *engine.Sharded {
 					}
 					k := table.Binary(u, v, sig.Of(cu).Add(s.colors[v]))
 					applyRecord(&k, st.record, v)
-					emit(s.cl.Owner(v), engine.Msg{K: k, C: 1})
+					emit(s.be.Owner(v), engine.Msg{K: k, C: 1})
 				}
 			}
-			s.cl.AddLoad(w, load)
-		}, out.Accumulate)
+			s.be.AddLoad(w, load)
+		})
 		return s.track(out)
 	}
 	child := s.tables[st.edgeAnn]
-	s.cl.Exchange(func(w int, emit func(int, engine.Msg)) {
+	s.be.Step(out, func(w int, emit func(int, engine.Msg)) {
 		var load int64
 		var poll int
 		child.Shard(w).Iter(func(k table.Key, c uint64) bool {
@@ -122,19 +122,19 @@ func (s *solver) initEdge(spec pathSpec, st pathStep) *engine.Sharded {
 			}
 			nk := table.Binary(from, to, k.S)
 			applyRecord(&nk, st.record, to)
-			emit(s.cl.Owner(to), engine.Msg{K: nk, C: c})
+			emit(s.be.Owner(to), engine.Msg{K: nk, C: c})
 			return true
 		})
-		s.cl.AddLoad(w, load)
-	}, out.Accumulate)
+		s.be.AddLoad(w, load)
+	})
 	return s.track(out)
 }
 
 // lift turns a unary child table (u,α) into the degenerate walk table
 // (u,u,α), seeding a path that includes the start node's annotation.
 func (s *solver) lift(child *engine.Sharded) *engine.Sharded {
-	out := engine.NewSharded(s.cl)
-	s.cl.Run(func(w int) {
+	out := engine.NewSharded(s.be)
+	s.be.Run(func(w int) {
 		sh := out.Shard(w)
 		child.Shard(w).Iter(func(k table.Key, c uint64) bool {
 			sh.Add(table.Binary(k.U, k.U, k.S), c)
@@ -150,9 +150,9 @@ func (s *solver) lift(child *engine.Sharded) *engine.Sharded {
 // whose signature meets α exactly at χ(v) (Figure 7 EdgeJoin). Under the DB
 // order constraint, only vertices ranking below u extend the walk.
 func (s *solver) edgeJoin(cur *engine.Sharded, spec pathSpec, st pathStep) *engine.Sharded {
-	out := engine.NewSharded(s.cl)
+	out := engine.NewSharded(s.be)
 	if st.edgeAnn == nil {
-		s.cl.Exchange(func(w int, emit func(int, engine.Msg)) {
+		s.be.Step(out, func(w int, emit func(int, engine.Msg)) {
 			var load int64
 			var poll int
 			cur.Shard(w).Iter(func(k table.Key, c uint64) bool {
@@ -170,16 +170,16 @@ func (s *solver) edgeJoin(cur *engine.Sharded, spec pathSpec, st pathStep) *engi
 					}
 					nk := table.Key{U: k.U, V: nb, X: k.X, Y: k.Y, S: k.S.Union(cn)}
 					applyRecord(&nk, st.record, nb)
-					emit(s.cl.Owner(nb), engine.Msg{K: nk, C: c})
+					emit(s.be.Owner(nb), engine.Msg{K: nk, C: c})
 				}
 				return true
 			})
-			s.cl.AddLoad(w, load)
-		}, out.Accumulate)
+			s.be.AddLoad(w, load)
+		})
 		return s.track(out)
 	}
 	grouped := s.groupBinary(st.edgeAnn, st.edgeFromFirst)
-	s.cl.Exchange(func(w int, emit func(int, engine.Msg)) {
+	s.be.Step(out, func(w int, emit func(int, engine.Msg)) {
 		var load int64
 		var poll int
 		idx := grouped[w]
@@ -198,12 +198,12 @@ func (s *solver) edgeJoin(cur *engine.Sharded, spec pathSpec, st pathStep) *engi
 				}
 				nk := table.Key{U: k.U, V: e.to, X: k.X, Y: k.Y, S: k.S.Union(e.s)}
 				applyRecord(&nk, st.record, e.to)
-				emit(s.cl.Owner(e.to), engine.Msg{K: nk, C: c * e.c})
+				emit(s.be.Owner(e.to), engine.Msg{K: nk, C: c * e.c})
 			}
 			return true
 		})
-		s.cl.AddLoad(w, load)
-	}, out.Accumulate)
+		s.be.AddLoad(w, load)
+	})
 	return s.track(out)
 }
 
@@ -211,9 +211,9 @@ func (s *solver) edgeJoin(cur *engine.Sharded, spec pathSpec, st pathStep) *engi
 // (Figure 7 NodeJoin). Both tables are homed at the owner of v, so the join
 // is communication-free.
 func (s *solver) nodeJoin(cur *engine.Sharded, ann *decomp.Block) *engine.Sharded {
-	out := engine.NewSharded(s.cl)
+	out := engine.NewSharded(s.be)
 	child := s.tables[ann]
-	s.cl.Run(func(w int) {
+	s.be.Run(func(w int) {
 		idx := make(map[uint32][]sigCount)
 		child.Shard(w).Iter(func(k table.Key, c uint64) bool {
 			idx[k.U] = append(idx[k.U], sigCount{s: k.S, c: c})
@@ -235,7 +235,7 @@ func (s *solver) nodeJoin(cur *engine.Sharded, ann *decomp.Block) *engine.Sharde
 			}
 			return true
 		})
-		s.cl.AddLoad(w, load)
+		s.be.AddLoad(w, load)
 	})
 	return s.track(out)
 }
@@ -259,19 +259,22 @@ type groupKey struct {
 // groupBinary redistributes a child block's binary table so every entry is
 // indexed, at the owner of its "from" endpoint, by that endpoint — the
 // paper's "communication to bring the two entries to a common processor"
-// (§7). Results are cached per (block, orientation): the DB solver reuses
-// them across its L splits.
+// (§7). Deliver hands each reoriented entry straight to the destination
+// partition's index (no intermediate table); index list order may vary
+// under the parallel backend, but joins only sum over the lists, so
+// counts cannot. Results are cached per (block, orientation): the DB
+// solver reuses them across its L splits.
 func (s *solver) groupBinary(b *decomp.Block, fromFirst bool) []map[uint32][]toEntry {
 	key := groupKey{block: b, fromFirst: fromFirst}
 	if g, ok := s.grouped[key]; ok {
 		return g
 	}
 	child := s.tables[b]
-	g := make([]map[uint32][]toEntry, s.cl.P())
+	g := make([]map[uint32][]toEntry, s.be.P())
 	for i := range g {
 		g[i] = make(map[uint32][]toEntry)
 	}
-	s.cl.Exchange(func(w int, emit func(int, engine.Msg)) {
+	s.be.Deliver(func(w int, emit func(int, engine.Msg)) {
 		var poll int
 		child.Shard(w).Iter(func(k table.Key, c uint64) bool {
 			if s.canceled(&poll) {
@@ -281,13 +284,11 @@ func (s *solver) groupBinary(b *decomp.Block, fromFirst bool) []map[uint32][]toE
 			if !fromFirst {
 				from, to = to, from
 			}
-			emit(s.cl.Owner(from), engine.Msg{K: table.Binary(from, to, k.S), C: c})
+			emit(s.be.Owner(from), engine.Msg{K: table.Binary(from, to, k.S), C: c})
 			return true
 		})
-	}, func(w int, msgs []engine.Msg) {
-		for _, m := range msgs {
-			g[w][m.K.U] = append(g[w][m.K.U], toEntry{to: m.K.V, s: m.K.S, c: m.C})
-		}
+	}, func(w int, m engine.Msg) {
+		g[w][m.K.U] = append(g[w][m.K.U], toEntry{to: m.K.V, s: m.K.S, c: m.C})
 	})
 	s.grouped[key] = g
 	return g

@@ -44,30 +44,21 @@ func CountColorfulPerVertex(g *graph.Graph, q *query.Graph, colors []uint8, anch
 		return nil, 0, Stats{}, fmt.Errorf(
 			"core: anchor %d is not in the plan's root block %v; pass a plan whose root contains it", anchor, root.Nodes)
 	}
-	workers := opts.Workers
-	if workers <= 0 {
-		workers = 4
+	be, err := engine.New(opts.Backend, opts.Workers, g.N())
+	if err != nil {
+		return nil, 0, Stats{}, err
 	}
 	s := &solver{
 		ctx:     context.Background(),
 		g:       g,
 		colors:  colors,
-		cl:      engine.NewCluster(workers, g.N()),
+		be:      be,
 		alg:     opts.Algorithm,
 		tables:  make(map[*decomp.Block]*engine.Sharded),
 		grouped: make(map[groupKey][]map[uint32][]toEntry),
 	}
 	per := s.runPerVertex(plan, anchor)
-	max, avg, total := s.cl.LoadStats()
-	return per, anchor, Stats{
-		Workers:      s.cl.P(),
-		MaxLoad:      max,
-		AvgLoad:      avg,
-		TotalLoad:    total,
-		Messages:     s.cl.Messages(),
-		TableEntries: s.entries,
-		Loads:        s.cl.Loads(),
-	}, nil
+	return per, anchor, s.stats(), nil
 }
 
 func contains(xs []int, v int) bool {

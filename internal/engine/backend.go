@@ -1,0 +1,123 @@
+package engine
+
+import (
+	"fmt"
+	"os"
+)
+
+// Backend is the pluggable execution runtime behind the solver phases.
+// The algorithm layer (internal/core) is written entirely against this
+// interface: a backend owns the vertex space in P contiguous partitions,
+// runs partition tasks, and delivers keyed counts emitted during a
+// superstep to the partition that owns them. Two implementations exist:
+//
+//   - "sim" (Cluster): the paper's §7 distributed runtime simulated in
+//     shared memory — P goroutine "ranks", per-superstep message buffers,
+//     a barrier, and owner-side merges. Message and load counters are
+//     faithful to the paper's metrics (Figure 11).
+//   - "parallel" (Parallel): a real shared-memory runtime — partitions
+//     are oversubscribed over GOMAXPROCS-scaled workers with band
+//     stealing, and emitted counts are merged straight into the
+//     destination table shard under a per-partition lock, skipping
+//     message materialization entirely.
+//
+// Counts are bit-identical across backends, partition counts, and worker
+// counts: every table operation is a commutative uint64 accumulation, so
+// delivery order and partition boundaries cannot change a result.
+type Backend interface {
+	// Name is the backend's canonical name ("sim" or "parallel").
+	Name() string
+	// P is the number of vertex-ownership partitions (= table shards).
+	// Run and Step index tasks and shards by partition.
+	P() int
+	// Workers is the real execution concurrency. For sim it equals P
+	// (one goroutine per simulated rank); for parallel it is the worker
+	// pool size, with P partitions multiplexed onto it.
+	Workers() int
+	// N is the vertex-space size.
+	N() int
+	// Owner returns the partition owning vertex v (1D block distribution).
+	Owner(v uint32) int
+	// Range returns the half-open vertex interval [lo, hi) owned by
+	// partition w.
+	Range(w int) (lo, hi uint32)
+	// Run executes f(w) exactly once for every partition w, concurrently.
+	// f has exclusive use of partition w's state (table shards, partial
+	// slots indexed by w) for the duration of its call.
+	Run(f func(w int))
+	// Step runs one superstep: produce runs for every partition and emits
+	// keyed counts addressed to destination partitions; when Step returns,
+	// every emitted count has been accumulated into out's destination
+	// shard. The emit closure is only valid during the call and only from
+	// the task that received it.
+	Step(out *Sharded, produce func(w int, emit func(dst int, m Msg)))
+	// Deliver is Step with a custom delivery: each emitted count is handed
+	// to consume at its destination partition instead of being merged into
+	// a table. consume(dst, m) calls for one dst never run concurrently
+	// with each other, so per-partition consumer state needs no locking;
+	// calls for different dsts may run concurrently.
+	Deliver(produce func(w int, emit func(dst int, m Msg)), consume func(dst int, m Msg))
+	// AddLoad charges d projection-function operations to partition w
+	// (the paper's Figure 11 load metric).
+	AddLoad(w int, d int64)
+	// Loads returns a per-worker snapshot of the load counters (partition
+	// loads folded onto the worker whose band owns them).
+	Loads() []int64
+	// LoadStats returns (max, avg, total) over the per-worker loads.
+	LoadStats() (max int64, avg float64, total int64)
+	// Messages is the number of simulated messages exchanged; a backend
+	// that merges tables directly (parallel) reports 0.
+	Messages() int64
+	// Steals is the number of partition tasks executed by a worker other
+	// than the partition's home worker; always 0 for sim.
+	Steals() int64
+}
+
+// Canonical backend names.
+const (
+	SimName      = "sim"
+	ParallelName = "parallel"
+)
+
+// BackendEnv names the environment variable consulted when a backend name
+// is left empty: it lets the whole test suite (and any embedding binary
+// that doesn't thread the knob) run under a non-default backend, which is
+// how CI exercises tier-1 tests under both runtimes.
+const BackendEnv = "SUBGRAPH_BACKEND"
+
+// Canonical resolves a backend name to its canonical form: an empty name
+// falls back to $SUBGRAPH_BACKEND and then to "sim"; unknown names are
+// errors. The env var is read per call — it resolves once per solver
+// construction, not on a hot path, and caching it would make t.Setenv in
+// tests silently ineffective.
+func Canonical(name string) (string, error) {
+	if name == "" {
+		name = os.Getenv(BackendEnv)
+	}
+	switch name {
+	case "", SimName:
+		return SimName, nil
+	case ParallelName:
+		return ParallelName, nil
+	}
+	return "", fmt.Errorf("engine: unknown backend %q (want %q or %q)", name, SimName, ParallelName)
+}
+
+// New builds the named backend over an n-vertex space. workers ≤ 0 picks
+// the backend's default concurrency: 4 simulated ranks for sim (the
+// historical core default), GOMAXPROCS real workers for parallel.
+func New(name string, workers, n int) (Backend, error) {
+	canonical, err := Canonical(name)
+	if err != nil {
+		return nil, err
+	}
+	switch canonical {
+	case ParallelName:
+		return NewParallel(workers, n), nil
+	default:
+		if workers <= 0 {
+			workers = 4
+		}
+		return NewCluster(workers, n), nil
+	}
+}

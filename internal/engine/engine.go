@@ -1,11 +1,15 @@
-// Package engine simulates the paper's distributed runtime (§7) in shared
-// memory: P workers (goroutines) stand in for MPI ranks, vertices are
-// block-distributed (1D decomposition), projection tables are sharded by
-// vertex owner, and every solver phase is a superstep — workers scan their
-// shards, emit keyed messages to destination owners, barrier, and owners
-// merge. Per-worker load counters reproduce the paper's "projection
-// function operations" metric (Figure 11), and message counters expose
-// communication volume.
+// Package engine provides the pluggable execution runtimes behind the
+// solver (the Backend interface). The sim backend (Cluster) simulates the
+// paper's distributed runtime (§7) in shared memory: P workers
+// (goroutines) stand in for MPI ranks, vertices are block-distributed
+// (1D decomposition), projection tables are sharded by vertex owner, and
+// every solver phase is a superstep — workers scan their shards, emit
+// keyed messages to destination owners, barrier, and owners merge.
+// Per-worker load counters reproduce the paper's "projection function
+// operations" metric (Figure 11), and message counters expose
+// communication volume. The parallel backend (Parallel) executes the same
+// supersteps as real shared-memory table merges with no message
+// simulation; both produce bit-identical counts.
 package engine
 
 import (
@@ -15,8 +19,9 @@ import (
 	"repro/internal/table"
 )
 
-// Cluster is a fixed set of P workers owning an n-vertex space in
-// contiguous blocks.
+// Cluster is the sim backend: a fixed set of P simulated ranks (one
+// goroutine each) owning an n-vertex space in contiguous blocks, with
+// per-superstep message accounting faithful to the paper's metrics.
 type Cluster struct {
 	p     int
 	n     int
@@ -38,8 +43,15 @@ func NewCluster(p, n int) *Cluster {
 	return &Cluster{p: p, n: n, chunk: chunk, loads: make([]atomic.Int64, p)}
 }
 
+// Name returns "sim".
+func (c *Cluster) Name() string { return SimName }
+
 // P returns the worker count.
 func (c *Cluster) P() int { return c.p }
+
+// Workers returns the worker count (every simulated rank is a real
+// goroutine, so concurrency equals P).
+func (c *Cluster) Workers() int { return c.p }
 
 // N returns the vertex-space size.
 func (c *Cluster) N() int { return c.n }
@@ -106,6 +118,10 @@ func (c *Cluster) LoadStats() (max int64, avg float64, total int64) {
 // Messages returns the number of messages exchanged so far.
 func (c *Cluster) Messages() int64 { return c.msgs.Load() }
 
+// Steals returns 0: the sim backend's ranks never steal work (static 1D
+// block distribution, as on the paper's cluster).
+func (c *Cluster) Steals() int64 { return 0 }
+
 // ResetCounters clears load and message counters.
 func (c *Cluster) ResetCounters() {
 	for i := range c.loads {
@@ -154,26 +170,43 @@ func (c *Cluster) Exchange(
 	})
 }
 
-// Sharded is a projection table distributed over the cluster: one
-// open-addressing shard per worker. The solver routes each entry to the
-// shard of the owner of its home vertex (the paper stores (u,v,α) at the
-// owner of v).
+// Step runs one superstep on the sim backend: an Exchange whose consume
+// phase accumulates every delivered message into out. This is the
+// message-faithful realization of the Backend contract.
+func (c *Cluster) Step(out *Sharded, produce func(w int, emit func(dst int, m Msg))) {
+	c.Exchange(produce, out.Accumulate)
+}
+
+// Deliver runs one superstep delivering each message to consume at its
+// destination rank (message-counted, like every sim superstep).
+func (c *Cluster) Deliver(produce func(w int, emit func(dst int, m Msg)), consume func(dst int, m Msg)) {
+	c.Exchange(produce, func(w int, msgs []Msg) {
+		for _, m := range msgs {
+			consume(w, m)
+		}
+	})
+}
+
+// Sharded is a projection table distributed over a backend: one
+// open-addressing shard per partition. The solver routes each entry to
+// the shard of the owner of its home vertex (the paper stores (u,v,α) at
+// the owner of v).
 type Sharded struct {
-	c      *Cluster
+	be     Backend
 	shards []*table.T
 }
 
-// NewSharded returns an empty sharded table on c.
-func NewSharded(c *Cluster) *Sharded {
-	s := &Sharded{c: c, shards: make([]*table.T, c.p)}
+// NewSharded returns an empty sharded table on be.
+func NewSharded(be Backend) *Sharded {
+	s := &Sharded{be: be, shards: make([]*table.T, be.P())}
 	for i := range s.shards {
 		s.shards[i] = table.New(16)
 	}
 	return s
 }
 
-// Cluster returns the owning cluster.
-func (s *Sharded) Cluster() *Cluster { return s.c }
+// Backend returns the owning backend.
+func (s *Sharded) Backend() Backend { return s.be }
 
 // Shard returns worker w's shard.
 func (s *Sharded) Shard(w int) *table.T { return s.shards[w] }

@@ -1,0 +1,224 @@
+package engine
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// oversubscription is how many ownership partitions a parallel backend
+// creates per worker. Finer partitions serve two purposes: band stealing
+// has spare tasks to rebalance when the vertex blocks carry skewed work,
+// and the per-partition merge locks stripe more finely than the worker
+// count, so concurrent emits rarely collide on one shard.
+const oversubscription = 4
+
+// paddedMutex keeps each partition lock on its own cache line: the locks
+// sit in one array and are hammered from every worker, so false sharing
+// between neighboring partitions would serialize unrelated merges.
+type paddedMutex struct {
+	sync.Mutex
+	_ [56]byte
+}
+
+// Parallel is the real shared-memory backend: P = workers ×
+// oversubscription vertex partitions executed by a pool of `workers`
+// goroutines with band stealing, and superstep deliveries merged directly
+// into the destination table shard under a per-partition lock — no
+// message buffers, no simulated ranks. Counts are bit-identical to the
+// sim backend because every delivery is a commutative accumulation.
+type Parallel struct {
+	workers int
+	parts   int
+	n       int
+	chunk   int
+	loads   []atomic.Int64 // per partition
+	steals  atomic.Int64
+	locks   []paddedMutex // per partition, guards Step merges
+}
+
+// NewParallel returns a parallel backend of the given worker count over n
+// vertices; workers ≤ 0 means runtime.GOMAXPROCS(0).
+func NewParallel(workers, n int) *Parallel {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	parts := workers
+	if workers > 1 {
+		parts = workers * oversubscription
+	}
+	chunk := (n + parts - 1) / parts
+	if chunk < 1 {
+		chunk = 1
+	}
+	return &Parallel{
+		workers: workers,
+		parts:   parts,
+		n:       n,
+		chunk:   chunk,
+		loads:   make([]atomic.Int64, parts),
+		locks:   make([]paddedMutex, parts),
+	}
+}
+
+// Name returns "parallel".
+func (p *Parallel) Name() string { return ParallelName }
+
+// P returns the partition count (workers × oversubscription).
+func (p *Parallel) P() int { return p.parts }
+
+// Workers returns the real worker-goroutine count.
+func (p *Parallel) Workers() int { return p.workers }
+
+// N returns the vertex-space size.
+func (p *Parallel) N() int { return p.n }
+
+// Owner returns the partition owning vertex v (1D block distribution).
+func (p *Parallel) Owner(v uint32) int {
+	w := int(v) / p.chunk
+	if w >= p.parts {
+		w = p.parts - 1
+	}
+	return w
+}
+
+// Range returns the half-open vertex interval [lo, hi) owned by
+// partition w.
+func (p *Parallel) Range(w int) (lo, hi uint32) {
+	l := w * p.chunk
+	h := l + p.chunk
+	if w == p.parts-1 || h > p.n {
+		h = p.n
+	}
+	if l > p.n {
+		l = p.n
+	}
+	return uint32(l), uint32(h)
+}
+
+// band returns the half-open partition interval a worker drains first.
+func (p *Parallel) band(g int) (lo, hi int) {
+	return g * p.parts / p.workers, (g + 1) * p.parts / p.workers
+}
+
+// homeWorker returns the worker whose band contains partition w.
+func (p *Parallel) homeWorker(w int) int { return w * p.workers / p.parts }
+
+// Run executes f(w) exactly once for every partition w: each worker
+// drains its own band through an atomic cursor, then steals from the
+// other bands in rotation until every partition has run. Which worker ran
+// a partition never affects results — partition state stays exclusive to
+// the single f(w) call — so stealing trades determinism of schedule, not
+// of outcome, for balance.
+func (p *Parallel) Run(f func(w int)) {
+	if p.workers == 1 {
+		for w := 0; w < p.parts; w++ {
+			f(w)
+		}
+		return
+	}
+	cursors := make([]atomic.Int64, p.workers)
+	var wg sync.WaitGroup
+	wg.Add(p.workers)
+	for g := 0; g < p.workers; g++ {
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < p.workers; i++ {
+				b := (g + i) % p.workers
+				lo, hi := p.band(b)
+				for {
+					w := lo + int(cursors[b].Add(1)) - 1
+					if w >= hi {
+						break
+					}
+					if b != g {
+						p.steals.Add(1)
+					}
+					f(w)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// Step runs one superstep with direct shared-table merging: every emit
+// locks the destination partition's stripe and accumulates straight into
+// out's shard. Nothing is buffered, counted, or re-delivered — this is
+// the backend the sim's message machinery exists to simulate.
+func (p *Parallel) Step(out *Sharded, produce func(w int, emit func(dst int, m Msg))) {
+	if p.workers == 1 {
+		for w := 0; w < p.parts; w++ {
+			produce(w, func(dst int, m Msg) { out.shards[dst].Add(m.K, m.C) })
+		}
+		return
+	}
+	p.Run(func(w int) {
+		produce(w, func(dst int, m Msg) {
+			mu := &p.locks[dst]
+			mu.Lock()
+			out.shards[dst].Add(m.K, m.C)
+			mu.Unlock()
+		})
+	})
+}
+
+// Deliver runs one superstep handing each emitted count to consume under
+// the destination partition's lock — the same direct, bufferless delivery
+// as Step, with user code instead of a table merge at the receiving end.
+func (p *Parallel) Deliver(produce func(w int, emit func(dst int, m Msg)), consume func(dst int, m Msg)) {
+	if p.workers == 1 {
+		for w := 0; w < p.parts; w++ {
+			produce(w, func(dst int, m Msg) { consume(dst, m) })
+		}
+		return
+	}
+	p.Run(func(w int) {
+		produce(w, func(dst int, m Msg) {
+			mu := &p.locks[dst]
+			mu.Lock()
+			consume(dst, m)
+			mu.Unlock()
+		})
+	})
+}
+
+// AddLoad charges d projection-function operations to partition w.
+func (p *Parallel) AddLoad(w int, d int64) { p.loads[w].Add(d) }
+
+// Loads returns per-worker load counters: each partition's load is folded
+// onto its home worker's entry, so the slice length matches Workers and
+// is comparable with the sim backend's per-rank loads.
+func (p *Parallel) Loads() []int64 {
+	out := make([]int64, p.workers)
+	for w := 0; w < p.parts; w++ {
+		out[p.homeWorker(w)] += p.loads[w].Load()
+	}
+	return out
+}
+
+// LoadStats returns (max, avg, total) over the per-worker loads.
+func (p *Parallel) LoadStats() (max int64, avg float64, total int64) {
+	for _, l := range p.Loads() {
+		total += l
+		if l > max {
+			max = l
+		}
+	}
+	return max, float64(total) / float64(p.workers), total
+}
+
+// Messages returns 0: the parallel backend exchanges no messages.
+func (p *Parallel) Messages() int64 { return 0 }
+
+// Steals returns how many partition tasks ran on a worker other than
+// their home worker.
+func (p *Parallel) Steals() int64 { return p.steals.Load() }
+
+// ResetCounters clears load and steal counters.
+func (p *Parallel) ResetCounters() {
+	for i := range p.loads {
+		p.loads[i].Store(0)
+	}
+	p.steals.Store(0)
+}

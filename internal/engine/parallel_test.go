@@ -1,0 +1,224 @@
+package engine
+
+import (
+	"math/rand"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sig"
+	"repro/internal/table"
+)
+
+func TestParallelRunVisitsEveryPartitionOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 8} {
+		p := NewParallel(workers, 1000)
+		visits := make([]atomic.Int32, p.P())
+		p.Run(func(w int) { visits[w].Add(1) })
+		for w := range visits {
+			if got := visits[w].Load(); got != 1 {
+				t.Fatalf("workers=%d: partition %d run %d times", workers, w, got)
+			}
+		}
+	}
+}
+
+func TestParallelOwnerRangeConsistency(t *testing.T) {
+	f := func(wRaw, nRaw uint16) bool {
+		workers := 1 + int(wRaw%16)
+		n := int(nRaw % 2000)
+		p := NewParallel(workers, n)
+		covered := 0
+		for w := 0; w < p.P(); w++ {
+			lo, hi := p.Range(w)
+			if hi < lo {
+				return false
+			}
+			covered += int(hi - lo)
+			for v := lo; v < hi; v++ {
+				if p.Owner(v) != w {
+					return false
+				}
+			}
+		}
+		return covered == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a Step on the parallel backend produces exactly the table the
+// sim backend's message exchange produces, for random emission patterns,
+// worker counts, and partition layouts — merge order cannot matter.
+func TestParallelStepMatchesSimExchange(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 25; trial++ {
+		n := 50 + rng.Intn(200)
+		simWorkers := 1 + rng.Intn(6)
+		parWorkers := 1 + rng.Intn(6)
+		emissions := make([][]Msg, 0, 64)
+		for i := 0; i < 40+rng.Intn(60); i++ {
+			var batch []Msg
+			for j := 0; j < rng.Intn(8); j++ {
+				k := table.Binary(uint32(rng.Intn(n)), uint32(rng.Intn(n)), sig.Of(uint8(rng.Intn(5))))
+				batch = append(batch, Msg{K: k, C: uint64(1 + rng.Intn(9))})
+			}
+			emissions = append(emissions, batch)
+		}
+		// Every backend emits the same multiset: each partition w emits the
+		// batches whose index ≡ w mod P, addressed to the key's V owner.
+		produce := func(be Backend) func(w int, emit func(int, Msg)) {
+			return func(w int, emit func(int, Msg)) {
+				for i := w; i < len(emissions); i += be.P() {
+					for _, m := range emissions[i] {
+						emit(be.Owner(m.K.V), m)
+					}
+				}
+			}
+		}
+		sim := NewCluster(simWorkers, n)
+		simOut := NewSharded(sim)
+		sim.Step(simOut, produce(sim))
+
+		par := NewParallel(parWorkers, n)
+		parOut := NewSharded(par)
+		par.Step(parOut, produce(par))
+
+		if simOut.Total() != parOut.Total() || simOut.Len() != parOut.Len() {
+			t.Fatalf("trial %d: sim (%d entries, total %d) != parallel (%d entries, total %d)",
+				trial, simOut.Len(), simOut.Total(), parOut.Len(), parOut.Total())
+		}
+		// Entry-for-entry: every sim entry appears in the parallel table
+		// with the same count, in the shard owning its V.
+		simOut.Iter(func(k table.Key, c uint64) bool {
+			if got := parOut.Shard(par.Owner(k.V)).Get(k); got != c {
+				t.Fatalf("trial %d: key %+v: sim %d, parallel %d", trial, k, c, got)
+			}
+			return true
+		})
+		if par.Messages() != 0 {
+			t.Fatalf("parallel backend counted %d messages", par.Messages())
+		}
+	}
+}
+
+func TestParallelLoadsFoldToWorkers(t *testing.T) {
+	p := NewParallel(4, 400)
+	p.Run(func(w int) { p.AddLoad(w, int64(w+1)) })
+	loads := p.Loads()
+	if len(loads) != 4 {
+		t.Fatalf("len(Loads) = %d, want workers=4", len(loads))
+	}
+	var want, got int64
+	for w := 0; w < p.P(); w++ {
+		want += int64(w + 1)
+	}
+	for _, l := range loads {
+		got += l
+	}
+	if got != want {
+		t.Fatalf("folded loads total %d, want %d", got, want)
+	}
+	max, avg, total := p.LoadStats()
+	if total != want || max <= 0 || avg <= 0 {
+		t.Fatalf("LoadStats = (%d, %f, %d)", max, avg, total)
+	}
+	p.ResetCounters()
+	if _, _, total := p.LoadStats(); total != 0 || p.Steals() != 0 {
+		t.Fatal("ResetCounters incomplete")
+	}
+}
+
+// A worker stuck on a long task must not strand the rest of the run: the
+// other worker steals across bands. Partition 0's task blocks until every
+// other partition has completed — possible only because whichever worker
+// is not stuck keeps claiming tasks from both bands.
+func TestParallelStealsImbalancedBands(t *testing.T) {
+	p := NewParallel(2, 2000)
+	others := int32(p.P() - 1)
+	var done atomic.Int32
+	release := make(chan struct{})
+	p.Run(func(w int) {
+		if w == 0 {
+			<-release
+			return
+		}
+		if done.Add(1) == others {
+			close(release)
+		}
+	})
+	if p.Steals() == 0 {
+		t.Error("no steals recorded despite a blocked worker")
+	}
+}
+
+func TestCanonicalAndNew(t *testing.T) {
+	if name, err := Canonical("sim"); err != nil || name != SimName {
+		t.Fatalf("Canonical(sim) = %q, %v", name, err)
+	}
+	if name, err := Canonical("parallel"); err != nil || name != ParallelName {
+		t.Fatalf("Canonical(parallel) = %q, %v", name, err)
+	}
+	if _, err := Canonical("mpi"); err == nil {
+		t.Fatal("Canonical accepted an unknown backend")
+	}
+	be, err := New("parallel", 0, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if be.Name() != ParallelName || be.Workers() < 1 {
+		t.Fatalf("New(parallel): name %q workers %d", be.Name(), be.Workers())
+	}
+	sim, err := New("sim", 0, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sim.Name() != SimName || sim.Workers() != 4 {
+		t.Fatalf("New(sim): name %q workers %d, want sim/4", sim.Name(), sim.Workers())
+	}
+	if _, err := New("mpi", 2, 100); err == nil {
+		t.Fatal("New accepted an unknown backend")
+	}
+}
+
+// Deliver must hand every emission to its destination partition exactly
+// once, with per-destination mutual exclusion (the consumer state below
+// is unsynchronized on purpose), on both backends.
+func TestDeliverRoutesEveryEmission(t *testing.T) {
+	for _, be := range []Backend{NewCluster(4, 400), NewParallel(3, 400)} {
+		sums := make([]uint64, be.P())
+		perDst := make([]map[uint32]int, be.P())
+		for i := range perDst {
+			perDst[i] = make(map[uint32]int)
+		}
+		be.Deliver(func(w int, emit func(int, Msg)) {
+			lo, hi := be.Range(w)
+			for v := lo; v < hi; v++ {
+				dst := be.Owner(uint32(int(v+7) % be.N()))
+				emit(dst, Msg{K: table.Unary(v, sig.Of(0)), C: uint64(v) + 1})
+			}
+		}, func(dst int, m Msg) {
+			sums[dst] += m.C
+			perDst[dst][m.K.U]++
+		})
+		var total uint64
+		seen := 0
+		for dst := range sums {
+			total += sums[dst]
+			for v, n := range perDst[dst] {
+				if n != 1 {
+					t.Fatalf("%s: vertex %d delivered %d times to partition %d", be.Name(), v, n, dst)
+				}
+				if be.Owner(uint32(int(v+7)%be.N())) != dst {
+					t.Fatalf("%s: vertex %d delivered to wrong partition %d", be.Name(), v, dst)
+				}
+				seen++
+			}
+		}
+		want := uint64(be.N()) * uint64(be.N()+1) / 2
+		if total != want || seen != be.N() {
+			t.Fatalf("%s: delivered %d entries summing %d, want %d summing %d", be.Name(), seen, total, be.N(), want)
+		}
+	}
+}

@@ -25,6 +25,7 @@ import (
 // graphs at 1/256 of the originals and 8 simulated ranks).
 type Config struct {
 	Scale      int      // stand-in size divisor; default 512
+	Backend    string   // execution backend; default "sim" (metrics-faithful for the figures)
 	Workers    int      // "high" simulated rank count; default 8
 	WorkersLow int      // "low" simulated rank count; default 2
 	Seed       int64    // base RNG seed
@@ -117,6 +118,7 @@ func (c Config) runOnce(g *graph.Graph, q *query.Graph, alg core.Algorithm, work
 	start := time.Now()
 	count, stats, err := core.CountColorful(g, q, colors, core.Options{
 		Algorithm: alg,
+		Backend:   c.Backend,
 		Workers:   workers,
 		Plan:      plan,
 	})

@@ -44,7 +44,7 @@ func Figure15(w io.Writer, cfg Config) (Figure15Result, error) {
 			est, err := coloring.Run(g, q, coloring.Options{
 				Trials: cfg.Trials,
 				Seed:   cfg.comboSeed(g.Name, q.Name),
-				Core:   core.Options{Algorithm: core.DB, Workers: cfg.Workers},
+				Core:   core.Options{Algorithm: core.DB, Backend: cfg.Backend, Workers: cfg.Workers},
 			})
 			if err != nil {
 				return res, err

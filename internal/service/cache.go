@@ -25,9 +25,10 @@ type Key struct {
 	Graph     uint64 // Fingerprint of the data graph
 	Query     string // QuerySignature of the query
 	Algorithm core.Algorithm
+	Backend   string // canonical execution backend; changes Stats, not counts
 	Trials    int
 	Seed      int64
-	Ranks     int // simulated engine ranks; changes Stats, not counts
+	Ranks     int // engine ranks/workers; changes Stats, not counts
 }
 
 // hash folds every key field into one FNV-1a value for shard selection.
@@ -41,6 +42,8 @@ func (k Key) hash() uint64 {
 	io.WriteString(h, k.Query) //nolint:errcheck // fnv never fails
 	binary.LittleEndian.PutUint64(b[:], uint64(k.Algorithm))
 	h.Write(b[:])
+	io.WriteString(h, k.Backend) //nolint:errcheck // fnv never fails
+	h.Write([]byte{0})           // terminator: Backend and the next field must not blur
 	binary.LittleEndian.PutUint64(b[:], uint64(k.Trials))
 	h.Write(b[:])
 	binary.LittleEndian.PutUint64(b[:], uint64(k.Seed))

@@ -15,7 +15,8 @@ import (
 //	GET    /healthz             liveness probe
 //	GET    /v1/stats            counters of every layer (registry, cache, scheduler, jobs),
 //	                            plus a per-shard breakdown with lock-wait counters
-//	                            under "shards"
+//	                            under "shards" and per-execution-backend engine
+//	                            counters under "engine"
 //	POST   /v1/graphs           register a graph (GraphSpec JSON) → GraphInfo
 //	GET    /v1/graphs           list registered graphs
 //	GET    /v1/graphs/X         one graph by id or name

@@ -114,10 +114,10 @@ type job struct {
 }
 
 // JobsStats are the job manager's observability counters. LockWait
-// measures contention on the manager's single mutex: unlike the registry
-// and cache it is not sharded (job ids and the singleflight index are
-// global), so this is the counter to watch when deciding whether it needs
-// to be.
+// measures contention on the manager's own mutex (job ids and lifecycle
+// are still global); the singleflight index has been split onto its own
+// keyed-hash shards, reported separately, so index lookups on distinct
+// keys no longer queue behind job bookkeeping.
 type JobsStats struct {
 	Submitted uint64 `json:"submitted"`
 	Coalesced uint64 `json:"coalesced"`
@@ -126,6 +126,61 @@ type JobsStats struct {
 	Active    int    `json:"active"`   // queued or running
 	Retained  int    `json:"retained"` // all jobs still addressable by id
 	LockWait
+	Singleflight SingleflightStats `json:"singleflight"`
+}
+
+// SingleflightStats describe the sharded in-flight index: how many keys
+// are currently flying and how contended the shard locks are.
+type SingleflightStats struct {
+	Keys   int `json:"keys"`
+	Shards int `json:"shards"`
+	LockWait
+}
+
+// singleflightIndex is the in-flight key → flight map, split off the job
+// manager's global mutex into keyed-hash shards with their own locks: a
+// submission only serializes with submissions (and completions) whose
+// keys land on the same shard, so the manager mutex stops being the last
+// global lock crossed by every cache-missing request. The locking
+// protocol is strictly shard-before-manager: any path that needs both
+// takes the key's shard lock first, then jobManager.mu — a flight found
+// in the index under its shard lock therefore cannot finish (finishFlight
+// removes it under the same shard lock before settling waiters), which is
+// what makes attach-on-lookup race-free.
+type singleflightIndex struct {
+	shards []singleflightShard
+}
+
+type singleflightShard struct {
+	mu waitMutex
+	m  map[Key]*flight
+}
+
+func newSingleflightIndex(shards int) *singleflightIndex {
+	if shards < 1 {
+		shards = 1
+	}
+	ix := &singleflightIndex{shards: make([]singleflightShard, shards)}
+	for i := range ix.shards {
+		ix.shards[i].m = make(map[Key]*flight)
+	}
+	return ix
+}
+
+func (ix *singleflightIndex) shardFor(k Key) *singleflightShard {
+	return &ix.shards[k.hash()%uint64(len(ix.shards))]
+}
+
+func (ix *singleflightIndex) stats() SingleflightStats {
+	st := SingleflightStats{Shards: len(ix.shards)}
+	for i := range ix.shards {
+		sh := &ix.shards[i]
+		sh.mu.Lock()
+		st.Keys += len(sh.m)
+		sh.mu.Unlock()
+		st.LockWait.add(sh.mu.wait())
+	}
+	return st
 }
 
 // jobManager tracks every job by id, the in-flight singleflight index,
@@ -142,7 +197,7 @@ type jobManager struct {
 	mu        waitMutex
 	byID      map[string]*job
 	order     []*job // submission order: oldest first, for sweeps and listings
-	inflight  map[Key]*flight
+	inflight  *singleflightIndex
 	nextID    atomic.Uint64
 	ttl       time.Duration
 	maxJobs   int
@@ -156,7 +211,7 @@ type jobManager struct {
 	expired   uint64
 }
 
-func newJobManager(ttl time.Duration, maxJobs int) *jobManager {
+func newJobManager(ttl time.Duration, maxJobs, sfShards int) *jobManager {
 	gap := ttl / 4
 	if gap > time.Minute {
 		gap = time.Minute
@@ -166,7 +221,7 @@ func newJobManager(ttl time.Duration, maxJobs int) *jobManager {
 	}
 	return &jobManager{
 		byID:     make(map[string]*job),
-		inflight: make(map[Key]*flight),
+		inflight: newSingleflightIndex(sfShards),
 		ttl:      ttl,
 		maxJobs:  maxJobs,
 		sweepGap: gap,
@@ -253,16 +308,21 @@ func (m *jobManager) flightStarted(fl *flight) {
 // finishFlight settles a flight exactly once: the first caller (the
 // worker's fn with the real outcome, or the scheduler's drop path with a
 // cancellation) wins, every still-attached job is finalized with it, and
-// the flight leaves the singleflight index.
+// the flight leaves the singleflight index. The key's shard lock is taken
+// before the manager mutex (the index's locking protocol), so the removal
+// and the settling are atomic with respect to attach-on-lookup.
 func (m *jobManager) finishFlight(fl *flight, est coloring.Estimate, err error) {
+	sh := m.inflight.shardFor(fl.key)
+	sh.mu.Lock()
 	m.mu.Lock()
 	if fl.finished {
 		m.mu.Unlock()
+		sh.mu.Unlock()
 		return
 	}
 	fl.finished = true
-	if m.inflight[fl.key] == fl {
-		delete(m.inflight, fl.key)
+	if sh.m[fl.key] == fl {
+		delete(sh.m, fl.key)
 	}
 	now := time.Now()
 	for _, j := range fl.jobs {
@@ -272,6 +332,7 @@ func (m *jobManager) finishFlight(fl *flight, est coloring.Estimate, err error) 
 	}
 	fl.jobs = nil
 	m.mu.Unlock()
+	sh.mu.Unlock()
 	fl.cancel() // release the flight context's resources
 }
 
@@ -325,16 +386,28 @@ func (m *jobManager) finalizeOwnedLocked(j *job, est coloring.Estimate, err erro
 // new arrivals start fresh instead of attaching to a dying run. Reports
 // whether the job was still live.
 func (m *jobManager) detach(j *job, cause error) bool {
+	// j.fl is written once, before the job is published under m.mu, and
+	// every caller reached j through an acquisition of m.mu — safe to read
+	// here to pick the shard lock, which must come before the manager
+	// mutex.
+	fl := j.fl
+	var sh *singleflightShard
+	if fl != nil {
+		sh = m.inflight.shardFor(fl.key)
+		sh.mu.Lock()
+	}
 	m.mu.Lock()
 	if j.state.Terminal() {
 		m.mu.Unlock()
+		if sh != nil {
+			sh.mu.Unlock()
+		}
 		return false
 	}
 	m.finalizeLocked(j, coloring.Estimate{}, cause, time.Now())
 	if errors.Is(cause, context.Canceled) {
 		m.canceled++
 	}
-	fl := j.fl
 	var cancelFlight bool
 	if fl != nil && !fl.finished {
 		live := fl.jobs[:0]
@@ -346,12 +419,15 @@ func (m *jobManager) detach(j *job, cause error) bool {
 		fl.jobs = live
 		if len(live) == 0 {
 			cancelFlight = true
-			if m.inflight[fl.key] == fl {
-				delete(m.inflight, fl.key)
+			if sh.m[fl.key] == fl {
+				delete(sh.m, fl.key)
 			}
 		}
 	}
 	m.mu.Unlock()
+	if sh != nil {
+		sh.mu.Unlock()
+	}
 	if cancelFlight {
 		fl.cancel()
 	}
@@ -546,15 +622,19 @@ func (m *jobManager) shutdown() {
 }
 
 func (m *jobManager) stats() JobsStats {
+	// The index rollup takes shard locks; the protocol is shard before
+	// manager, so collect it before acquiring m.mu.
+	sf := m.inflight.stats()
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	return JobsStats{
-		Submitted: m.submitted,
-		Coalesced: m.coalesced,
-		Canceled:  m.canceled,
-		Expired:   m.expired,
-		Active:    len(m.order) - m.terminal,
-		Retained:  len(m.order),
-		LockWait:  m.mu.wait(),
+		Singleflight: sf,
+		Submitted:    m.submitted,
+		Coalesced:    m.coalesced,
+		Canceled:     m.canceled,
+		Expired:      m.expired,
+		Active:       len(m.order) - m.terminal,
+		Retained:     len(m.order),
+		LockWait:     m.mu.wait(),
 	}
 }

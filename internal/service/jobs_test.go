@@ -86,7 +86,7 @@ func TestJobResultBitIdenticalToDirect(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !reflect.DeepEqual(res.Estimate, direct) {
+	if !sameEstimate(res.Estimate, direct) {
 		t.Errorf("job result differs from direct call:\njob:    %+v\ndirect: %+v", res.Estimate, direct)
 	}
 }

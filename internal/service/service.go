@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/coloring"
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/query"
 )
 
@@ -44,8 +45,15 @@ type Options struct {
 	// DefaultTrials is used when a request leaves Trials ≤ 0 (≤ 0 means 3,
 	// matching subgraph.Estimate).
 	DefaultTrials int
-	// DefaultRanks is the simulated engine rank count when a request leaves
-	// Ranks ≤ 0 (≤ 0 means 4, matching the core default).
+	// Backend is the execution backend used when a request leaves Backend
+	// empty: "sim" (the paper's simulated distributed engine) or
+	// "parallel" (real shared-memory workers). Empty falls back to
+	// $SUBGRAPH_BACKEND, then "sim". Estimates are bit-identical across
+	// backends; only engine stats differ, so the backend is part of the
+	// result-cache key.
+	Backend string
+	// DefaultRanks is the engine rank/worker count when a request leaves
+	// Ranks ≤ 0 (≤ 0 means 4, matching the core sim default).
 	DefaultRanks int
 	// MaxTrials bounds the per-request trial count; requests beyond it are
 	// rejected rather than allowed to allocate trials×n bytes of colorings
@@ -91,6 +99,11 @@ func (o Options) withDefaults() Options {
 	if o.DefaultTrials <= 0 {
 		o.DefaultTrials = 3
 	}
+	// Resolve the default backend once; an unknown name surfaces on the
+	// first request rather than silently running the wrong runtime.
+	if b, err := engine.Canonical(o.Backend); err == nil {
+		o.Backend = b
+	}
 	if o.DefaultRanks <= 0 {
 		o.DefaultRanks = 4
 	}
@@ -116,12 +129,13 @@ func (o Options) withDefaults() Options {
 // path, so sync and async results are bit-identical and cache-keyed the
 // same way. All methods are safe for concurrent use.
 type Service struct {
-	opts  Options
-	reg   *Registry
-	cache *Cache
-	sched *Scheduler
-	jobs  *jobManager
-	start time.Time
+	opts   Options
+	reg    *Registry
+	cache  *Cache
+	sched  *Scheduler
+	jobs   *jobManager
+	engine *engineTracker
+	start  time.Time
 
 	estimates       atomic.Uint64 // estimations actually computed
 	batches         atomic.Uint64
@@ -132,12 +146,13 @@ type Service struct {
 func New(opts Options) *Service {
 	opts = opts.withDefaults()
 	return &Service{
-		opts:  opts,
-		reg:   NewRegistry(opts.GraphBudgetBytes, opts.Shards),
-		cache: NewCache(opts.CacheCapacity, opts.Shards),
-		sched: NewScheduler(opts.Workers, opts.QueueDepth),
-		jobs:  newJobManager(opts.JobTTL, opts.MaxJobs),
-		start: time.Now(),
+		opts:   opts,
+		reg:    NewRegistry(opts.GraphBudgetBytes, opts.Shards),
+		cache:  NewCache(opts.CacheCapacity, opts.Shards),
+		sched:  NewScheduler(opts.Workers, opts.QueueDepth),
+		jobs:   newJobManager(opts.JobTTL, opts.MaxJobs, opts.Shards),
+		engine: newEngineTracker(),
+		start:  time.Now(),
 	}
 }
 
@@ -236,6 +251,11 @@ type EstimateRequest struct {
 
 	// Algorithm is "DB" (default), "PS", or "PSEven".
 	Algorithm string `json:"algorithm,omitempty"`
+	// Backend is the execution backend: "sim" or "parallel" ("" means the
+	// service default). Estimates are bit-identical across backends; the
+	// engine stats embedded in the result differ, so the backend is part
+	// of the cache key.
+	Backend string `json:"backend,omitempty"`
 	// Trials is the number of independent colorings (≤ 0 means the service
 	// default, itself defaulting to 3).
 	Trials int `json:"trials,omitempty"`
@@ -314,6 +334,16 @@ func buildQuery(req EstimateRequest) (*query.Graph, error) {
 }
 
 func (s *Service) normalize(req EstimateRequest) (EstimateRequest, error) {
+	if req.Backend == "" {
+		req.Backend = s.opts.Backend
+	}
+	// Canonicalize so "" / env-default / explicit "sim" all share one
+	// cache key and one inflight-index key.
+	backend, err := engine.Canonical(req.Backend)
+	if err != nil {
+		return req, err
+	}
+	req.Backend = backend
 	if req.Trials <= 0 {
 		req.Trials = s.opts.DefaultTrials
 	}
@@ -358,6 +388,7 @@ func (s *Service) key(fp uint64, q *query.Graph, alg core.Algorithm, req Estimat
 		Graph:     fp,
 		Query:     QuerySignature(q),
 		Algorithm: alg,
+		Backend:   req.Backend,
 		Trials:    req.Trials,
 		Seed:      req.Seed,
 		Ranks:     req.Ranks,
@@ -378,6 +409,7 @@ func (s *Service) run(ctx context.Context, h *Handle, q *query.Graph, alg core.A
 		Progress: progress,
 		Core: core.Options{
 			Algorithm: alg,
+			Backend:   req.Backend,
 			Workers:   req.Ranks,
 		},
 	})
@@ -385,6 +417,7 @@ func (s *Service) run(ctx context.Context, h *Handle, q *query.Graph, alg core.A
 		return coloring.Estimate{}, err
 	}
 	s.estimates.Add(1)
+	s.engine.record(est.Stats)
 	s.cache.Put(key, est)
 	return est, nil
 }
@@ -432,23 +465,35 @@ func (s *Service) submitJob(req EstimateRequest, colorings func() [][]uint8) (*j
 		}
 	}
 
+	// Singleflight: the key's shard lock (held through flight creation)
+	// serializes only submissions and completions of keys on this shard —
+	// the jobs mutex is taken briefly inside, never the other way around.
+	// NoCache requests bypass the index entirely: they never coalesce and
+	// their flights are never findable.
 	jobs := s.jobs
-	jobs.mu.Lock()
+	var shard *singleflightShard
 	if !req.NoCache {
-		if fl, ok := jobs.inflight[key]; ok {
+		shard = jobs.inflight.shardFor(key)
+		shard.mu.Lock()
+		if fl := shard.m[key]; fl != nil {
+			// Found under the shard lock ⇒ the flight cannot finish before
+			// we attach (finishFlight removes it under this same lock
+			// before settling waiters).
+			jobs.mu.Lock()
 			jobs.attachLocked(fl, j)
 			jobs.registerLocked(j)
 			jobs.mu.Unlock()
+			shard.mu.Unlock()
 			h.Release()
 			s.armDeadline(j, req)
 			return j, nil
 		}
 		// An identical flight may have finished between the unlocked cache
-		// check above and taking the lock (its Put lands before it leaves
-		// the inflight index); re-check so the just-cached result is
-		// replayed instead of recomputed.
+		// check above and taking the shard lock (its Put lands before it
+		// leaves the inflight index); re-check so the just-cached result
+		// is replayed instead of recomputed.
 		if est, ok := s.cache.Get(key); ok {
-			jobs.mu.Unlock()
+			shard.mu.Unlock()
 			h.Release()
 			s.jobs.addCached(j, est)
 			return j, nil
@@ -461,6 +506,7 @@ func (s *Service) submitJob(req EstimateRequest, colorings func() [][]uint8) (*j
 	// running flight.
 	fctx, cancel := context.WithCancel(context.Background())
 	fl := &flight{key: key, cancel: cancel}
+	jobs.mu.Lock()
 	jobs.attachLocked(fl, j)
 	_, err = s.sched.SubmitJob(fctx, req.Priority, func(ctx context.Context) error {
 		s.jobs.flightStarted(fl)
@@ -481,15 +527,21 @@ func (s *Service) submitJob(req EstimateRequest, colorings func() [][]uint8) (*j
 	})
 	if err != nil {
 		jobs.mu.Unlock()
+		if shard != nil {
+			shard.mu.Unlock()
+		}
 		cancel()
 		h.Release()
 		return nil, err
 	}
-	if !req.NoCache {
-		jobs.inflight[key] = fl
+	if shard != nil {
+		shard.m[key] = fl
 	}
 	jobs.registerLocked(j)
 	jobs.mu.Unlock()
+	if shard != nil {
+		shard.mu.Unlock()
+	}
 	s.armDeadline(j, req)
 	return j, nil
 }
@@ -620,6 +672,7 @@ func (s *Service) JobResult(id string) (EstimateResult, error) {
 type BatchRequest struct {
 	Graph     string            `json:"graph"`
 	Algorithm string            `json:"algorithm,omitempty"`
+	Backend   string            `json:"backend,omitempty"`
 	Trials    int               `json:"trials,omitempty"`
 	Seed      int64             `json:"seed,omitempty"`
 	Ranks     int               `json:"ranks,omitempty"`
@@ -722,6 +775,9 @@ func (s *Service) EstimateBatch(ctx context.Context, breq BatchRequest) ([]Batch
 		if qreq.Algorithm == "" {
 			qreq.Algorithm = breq.Algorithm
 		}
+		if qreq.Backend == "" {
+			qreq.Backend = breq.Backend
+		}
 		if qreq.Trials <= 0 {
 			qreq.Trials = breq.Trials
 		}
@@ -807,6 +863,7 @@ type Stats struct {
 	Cache           CacheStats     `json:"cache"`
 	Scheduler       SchedulerStats `json:"scheduler"`
 	Jobs            JobsStats      `json:"jobs"`
+	Engine          EngineStats    `json:"engine"`
 	Shards          ShardsStats    `json:"shards"`
 }
 
@@ -821,6 +878,11 @@ func (s *Service) Stats() Stats {
 		Cache:           s.cache.Stats(),
 		Scheduler:       s.sched.Stats(),
 		Jobs:            s.jobs.stats(),
+		Engine: EngineStats{
+			Backend:  s.opts.Backend,
+			Workers:  s.opts.DefaultRanks,
+			Backends: s.engine.snapshot(),
+		},
 		Shards: ShardsStats{
 			Count:    len(s.reg.shards),
 			Registry: s.reg.ShardStats(),

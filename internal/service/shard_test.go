@@ -112,7 +112,7 @@ func TestServiceShardedBitIdentical(t *testing.T) {
 		if errA != nil || errB != nil {
 			t.Fatalf("req %d: errs %v / %v", i, errA, errB)
 		}
-		if !reflect.DeepEqual(a.Estimate, b.Estimate) {
+		if !sameEstimate(a.Estimate, b.Estimate) {
 			t.Fatalf("req %d: estimates diverged:\n1-shard %+v\n8-shard %+v", i, a.Estimate, b.Estimate)
 		}
 		if a.Cached != b.Cached {
@@ -133,7 +133,7 @@ func TestServiceShardedBitIdentical(t *testing.T) {
 		if ia[i].Err != nil || ib[i].Err != nil {
 			t.Fatalf("batch item %d: errs %v / %v", i, ia[i].Err, ib[i].Err)
 		}
-		if !reflect.DeepEqual(ia[i].Result.Estimate, ib[i].Result.Estimate) {
+		if !sameEstimate(ia[i].Result.Estimate, ib[i].Result.Estimate) {
 			t.Fatalf("batch item %d diverged:\n1-shard %+v\n8-shard %+v", i, ia[i].Result.Estimate, ib[i].Result.Estimate)
 		}
 	}

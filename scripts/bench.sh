@@ -1,24 +1,32 @@
 #!/usr/bin/env bash
-# Benchmark the sgserve serving path end to end with cmd/sgload, and gate
-# CI on throughput regressions.
+# Benchmark the sgserve stack end to end with cmd/sgload, and gate CI on
+# throughput regressions.
 #
-#   scripts/bench.sh           run, write BENCH_pr3.json, fail if the
-#                              sharded run's throughput drops more than
-#                              25% below scripts/bench_baseline.json
+#   scripts/bench.sh           run, write BENCH_pr4.json, fail if the
+#                              serving-path (parallel backend) throughput
+#                              drops more than 25% below
+#                              scripts/bench_baseline.json
 #   scripts/bench.sh -update   run and overwrite the baseline instead
 #
-# Two runs with the identical seeded workload: the server's default shard
-# count ("sharded") and -shards 1 ("unsharded"), merged into one
-# BENCH_pr3.json at the repo root. The interesting numbers are
-# throughputRps / latencyMs per run and the server.*.lockWaitMs counters:
-# lock wait is where a too-coarse lock shows up first — on single-core
-# builders the two runs' throughput converges (a blocked goroutine costs
-# nothing when only one can run), while the lock-wait gap stays visible.
+# Four runs with identical seeded workloads, merged into one BENCH_pr4.json
+# at the repo root:
+#
+#   serving.{parallel,sim}  hit-ratio 0.98 — the cache/registry/jobs hot
+#                           path, where the sharded structures and the
+#                           split singleflight index earn their keep. The
+#                           parallel-backend run is the regression gate.
+#   solver.{parallel,sim}   hit-ratio 0 — every request runs the solver,
+#                           so this pair compares the execution backends
+#                           themselves: the parallel backend merges
+#                           projection tables directly and must come out
+#                           ≥ the sim backend, which pays the simulated
+#                           message exchange on every superstep.
 #
 # The server runs under a pinned GOMAXPROCS so runs are comparable across
-# machines with different core counts; override via BENCH_* env vars.
-# Requires curl-less operation: sgload does its own health polling. jq is
-# required for the merge and the gate.
+# machines with different core counts; override via BENCH_* env vars. On
+# single-core builders the backend gap is the message-machinery overhead
+# only — the parallel backend's multicore scaling needs real cores to show.
+# jq is required for the merge and the gate.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -26,11 +34,12 @@ MODE="${1:-}"
 DUR="${BENCH_DURATION:-5s}"
 WARMUP="${BENCH_WARMUP:-2s}"
 CONC="${BENCH_CONCURRENCY:-32}"
+SOLVER_CONC="${BENCH_SOLVER_CONCURRENCY:-8}"
 SRV_GOMAXPROCS="${BENCH_SERVER_GOMAXPROCS:-4}"
 SRV_WORKERS="${BENCH_SERVER_WORKERS:-4}"
-OUT="BENCH_pr3.json"
+OUT="BENCH_pr4.json"
 BASELINE="scripts/bench_baseline.json"
-# Threshold: fail when sharded throughput < 75% of baseline. Generous on
+# Threshold: fail when serving throughput < 75% of baseline. Generous on
 # purpose — shared runners are noisy; this catches structural regressions
 # (an accidental global lock, an O(n) scan on the hot path), not jitter.
 DROP_FRACTION=0.75
@@ -44,43 +53,59 @@ cleanup() {
 }
 trap cleanup EXIT
 
-run_one() { # shards label outfile
-  local shards="$1" label="$2" outfile="$3"
+run_one() { # backend label outfile conc hitratio
+  local backend="$1" label="$2" outfile="$3" conc="$4" hitratio="$5"
   local addrfile
   addrfile=$(mktemp -u)
   GOMAXPROCS="$SRV_GOMAXPROCS" /tmp/sgserve -addr 127.0.0.1:0 -addr-file "$addrfile" \
-    -workers "$SRV_WORKERS" -shards "$shards" >/dev/null 2>&1 &
+    -workers "$SRV_WORKERS" -backend "$backend" >/dev/null 2>&1 &
   SERVER_PID=$!
   for _ in $(seq 1 100); do [ -s "$addrfile" ] && break; sleep 0.1; done
   if [ ! -s "$addrfile" ]; then
     echo "bench: sgserve never wrote its address" >&2
     exit 1
   fi
-  /tmp/sgload -addr "$(cat "$addrfile")" -c "$CONC" -duration "$DUR" -warmup "$WARMUP" \
-    -graphs 4 -graph-n 1000 -queries path3,cycle4 -hot 8 -hit-ratio 0.98 -seed 1 \
-    -label "$label" -out "$outfile"
+  /tmp/sgload -addr "$(cat "$addrfile")" -c "$conc" -duration "$DUR" -warmup "$WARMUP" \
+    -graphs 4 -graph-n 1000 -queries path3,cycle4 -hot 8 -hit-ratio "$hitratio" -seed 1 \
+    -backend "$backend" -label "$label" -out "$outfile"
   kill "$SERVER_PID" 2>/dev/null || true
   wait "$SERVER_PID" 2>/dev/null || true
   SERVER_PID=""
   rm -f "$addrfile"
 }
 
-run_one 0 sharded /tmp/bench_sharded.json
-run_one 1 unsharded /tmp/bench_unsharded.json
+run_one parallel serving-parallel /tmp/bench_serving_parallel.json "$CONC" 0.98
+run_one sim      serving-sim      /tmp/bench_serving_sim.json      "$CONC" 0.98
+run_one parallel solver-parallel  /tmp/bench_solver_parallel.json  "$SOLVER_CONC" 0
+run_one sim      solver-sim       /tmp/bench_solver_sim.json       "$SOLVER_CONC" 0
 
-jq -n --argjson conc "$CONC" \
-  --slurpfile s /tmp/bench_sharded.json --slurpfile u /tmp/bench_unsharded.json '{
-    bench: "sgserve serving path (closed-loop sgload)",
+jq -n --argjson conc "$CONC" --argjson sconc "$SOLVER_CONC" \
+  --slurpfile sp /tmp/bench_serving_parallel.json --slurpfile ss /tmp/bench_serving_sim.json \
+  --slurpfile vp /tmp/bench_solver_parallel.json --slurpfile vs /tmp/bench_solver_sim.json '{
+    bench: "sgserve serving + solver paths per execution backend (closed-loop sgload)",
     concurrency: $conc,
-    sharded: $s[0],
-    unsharded: $u[0]
+    solverConcurrency: $sconc,
+    serving: { parallel: $sp[0], sim: $ss[0] },
+    solver:  { parallel: $vp[0], sim: $vs[0] }
   }' >"$OUT"
 
 summary() {
-  jq -r '"\(.sharded.label):   \(.sharded.throughputRps|floor) req/s  p50 \(.sharded.latencyMs.p50Ms)ms  p99 \(.sharded.latencyMs.p99Ms)ms  lockWait reg \(.sharded.server.registry.lockWaitMs|floor)ms cache \(.sharded.server.cache.lockWaitMs|floor)ms jobs \(.sharded.server.jobs.lockWaitMs|floor)ms\n\(.unsharded.label): \(.unsharded.throughputRps|floor) req/s  p50 \(.unsharded.latencyMs.p50Ms)ms  p99 \(.unsharded.latencyMs.p99Ms)ms  lockWait reg \(.unsharded.server.registry.lockWaitMs|floor)ms cache \(.unsharded.server.cache.lockWaitMs|floor)ms jobs \(.unsharded.server.jobs.lockWaitMs|floor)ms"' "$OUT"
+  jq -r '
+    def row: "\(.label): \(.throughputRps|floor) req/s  p50 \(.latencyMs.p50Ms)ms  p99 \(.latencyMs.p99Ms)ms  jobs lockWait \(.server.jobs.lockWaitMs|floor)ms  sf lockWait \(.server.jobs.singleflight.lockWaitMs|floor)ms";
+    (.serving.parallel | row), (.serving.sim | row), (.solver.parallel | row), (.solver.sim | row)
+  ' "$OUT"
 }
 echo "bench: wrote $OUT"
 summary
+
+par=$(jq -r '.solver.parallel.throughputRps' "$OUT")
+sim=$(jq -r '.solver.sim.throughputRps' "$OUT")
+echo "bench: solver-bound backends: parallel $par req/s vs sim $sim req/s"
+if [ "$(jq -n --argjson p "$par" --argjson s "$sim" '$p >= $s')" != "true" ]; then
+  # Warn rather than fail: on loaded single-core runners the gap is small
+  # enough for scheduling noise to flip individual runs.
+  echo "bench: WARNING: parallel backend below sim on this run" >&2
+fi
 
 if [ "$MODE" = "-update" ]; then
   cp "$OUT" "$BASELINE"
@@ -92,10 +117,10 @@ if [ ! -f "$BASELINE" ]; then
   echo "bench: no baseline at $BASELINE (run scripts/bench.sh -update to create one)" >&2
   exit 1
 fi
-cur=$(jq -r '.sharded.throughputRps' "$OUT")
-base=$(jq -r '.sharded.throughputRps' "$BASELINE")
+cur=$(jq -r '.serving.parallel.throughputRps' "$OUT")
+base=$(jq -r '.serving.parallel.throughputRps' "$BASELINE")
 ok=$(jq -n --argjson cur "$cur" --argjson base "$base" --argjson f "$DROP_FRACTION" '$cur >= $f * $base')
-echo "bench: sharded throughput $cur req/s vs baseline $base req/s (floor: ${DROP_FRACTION}x)"
+echo "bench: serving throughput $cur req/s vs baseline $base req/s (floor: ${DROP_FRACTION}x)"
 if [ "$ok" != "true" ]; then
   echo "FAIL: throughput dropped more than $(jq -n --argjson f "$DROP_FRACTION" '100*(1-$f)')% below the baseline" >&2
   echo "      (if the baseline machine class changed, regenerate with scripts/bench.sh -update)" >&2

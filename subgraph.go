@@ -2,7 +2,10 @@
 // "Subgraph Counting: Color Coding Beyond Trees" (Chakaravarthy et al.,
 // IPDPS 2016): approximate subgraph counting for treewidth-2 query graphs
 // via color coding, with the paper's degree-based (DB) cycle solver and the
-// path-splitting (PS) baseline, over a simulated distributed engine.
+// path-splitting (PS) baseline, over pluggable execution backends — the
+// paper's simulated distributed engine ("sim", metrics-faithful) or a real
+// shared-memory parallel runtime ("parallel"); counts are bit-identical
+// across backends.
 //
 // Typical use:
 //
@@ -24,6 +27,7 @@ import (
 	"repro/internal/coloring"
 	"repro/internal/core"
 	"repro/internal/decomp"
+	"repro/internal/engine"
 	"repro/internal/exact"
 	"repro/internal/gen"
 	"repro/internal/graph"
@@ -114,6 +118,13 @@ func Plan(q *Query) (*PlanTree, error) { return core.PickPlan(q) }
 // the Figure 14 heuristic-vs-optimal study).
 func EnumeratePlans(q *Query) ([]*PlanTree, error) { return decomp.Enumerate(q) }
 
+// CanonicalBackend resolves an execution backend name to its canonical
+// form ("sim" or "parallel"): an empty name falls back to
+// $SUBGRAPH_BACKEND, then "sim"; unknown names are errors. Servers should
+// validate their configured default with it at startup, so a typo fails
+// fast instead of turning every request into a 400.
+func CanonicalBackend(name string) (string, error) { return engine.Canonical(name) }
+
 // CountOptions configures one colorful-counting run.
 type CountOptions = core.Options
 
@@ -139,10 +150,19 @@ func RandomColoring(g *Graph, q *Query, seed int64) []uint8 {
 // EstimateOptions configures the multi-trial estimator.
 type EstimateOptions struct {
 	Algorithm Algorithm
-	Workers   int
-	Trials    int // independent colorings; ≤ 0 means 3
-	Seed      int64
-	Plan      *PlanTree
+	// Backend selects the execution runtime for the inner solver: "sim"
+	// (default; the paper's simulated distributed engine) or "parallel"
+	// (real shared-memory workers merging projection tables directly).
+	// Estimates are bit-identical across backends and worker counts; only
+	// the engine stats differ.
+	Backend string
+	// Workers is the execution width: simulated ranks under "sim" (≤ 0
+	// means 4), real worker goroutines under "parallel" (≤ 0 means
+	// GOMAXPROCS).
+	Workers int
+	Trials  int // independent colorings; ≤ 0 means 3
+	Seed    int64
+	Plan    *PlanTree
 	// Parallel runs up to this many trials concurrently; results are
 	// bit-identical to the serial run. ≤ 1 means serial.
 	Parallel int
@@ -167,6 +187,7 @@ func EstimateContext(ctx context.Context, g *Graph, q *Query, opts EstimateOptio
 		Parallel: opts.Parallel,
 		Core: core.Options{
 			Algorithm: opts.Algorithm,
+			Backend:   opts.Backend,
 			Workers:   opts.Workers,
 			Plan:      opts.Plan,
 		},

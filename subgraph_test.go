@@ -1,6 +1,7 @@
 package subgraph
 
 import (
+	"reflect"
 	"strings"
 	"testing"
 )
@@ -87,5 +88,35 @@ func TestFacadeHelpers(t *testing.T) {
 	rm := GenerateRMAT("rm", 8, 4, 3)
 	if rm.N() != 256 {
 		t.Fatalf("RMAT N = %d", rm.N())
+	}
+}
+
+// TestEstimateBackendEquivalence: the public estimator must return
+// bit-identical trial counts under both execution backends, at any worker
+// count — the backend knob changes the runtime, never the answer.
+func TestEstimateBackendEquivalence(t *testing.T) {
+	g := GeneratePowerLaw("pl", 400, 1.6, 9)
+	for _, qn := range []string{"glet1", "cycle5", "brain1"} {
+		q, err := QueryByName(qn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sim, err := Estimate(g, q, EstimateOptions{Trials: 3, Seed: 4, Backend: "sim", Workers: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{1, 3, 8} {
+			par, err := Estimate(g, q, EstimateOptions{Trials: 3, Seed: 4, Backend: "parallel", Workers: workers})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(sim.Counts, par.Counts) || sim.Matches != par.Matches || sim.CV != par.CV {
+				t.Errorf("%s w=%d: backends diverged:\nsim      %v %.3f\nparallel %v %.3f",
+					qn, workers, sim.Counts, sim.Matches, par.Counts, par.Matches)
+			}
+			if par.Stats.Backend != "parallel" || par.Stats.Messages != 0 {
+				t.Errorf("%s w=%d: parallel stats malformed: %+v", qn, workers, par.Stats)
+			}
+		}
 	}
 }
