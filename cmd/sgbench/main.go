@@ -29,6 +29,8 @@ func main() {
 		workersLow = flag.Int("workerslow", 0, "low simulated rank count (default 2)")
 		seed       = flag.Int64("seed", 1, "random seed")
 		trials     = flag.Int("trials", 0, "Figure 15 trials per combo (default 10)")
+		relerr     = flag.Float64("relerr", 0, "Figure 15 precision target: report the trial count at which the (relerr, confidence) stopping rule fires")
+		confidence = flag.Float64("confidence", 0, "confidence level of -relerr (default 0.95)")
 		graphs     = flag.String("graphs", "", "comma-separated stand-in subset")
 		queries    = flag.String("queries", "", "comma-separated query subset")
 	)
@@ -40,6 +42,8 @@ func main() {
 		WorkersLow: *workersLow,
 		Seed:       *seed,
 		Trials:     *trials,
+		RelErr:     *relerr,
+		Confidence: *confidence,
 		Graphs:     split(*graphs),
 		Queries:    split(*queries),
 	}

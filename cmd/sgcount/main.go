@@ -33,7 +33,10 @@ func main() {
 		algName   = flag.String("alg", "DB", "cycle solver: DB (degree-based) or PS (path-splitting baseline)")
 		backend   = flag.String("backend", "", "execution backend: sim (default) or parallel (shared-memory)")
 		workers   = flag.Int("workers", 8, "simulated ranks (sim) or worker goroutines (parallel)")
-		trials    = flag.Int("trials", 3, "independent colorings")
+		trials    = flag.Int("trials", 3, "independent colorings (ignored when -relerr is set)")
+		relerr    = flag.Float64("relerr", 0, "target relative error (e.g. 0.1 = ±10%); > 0 runs trials adaptively until the target confidence interval is met")
+		conf      = flag.Float64("confidence", 0.95, "confidence level of the -relerr target, in (0,1)")
+		maxTrials = flag.Int("max-trials", 0, "adaptive trial cap for -relerr (0 = 1024)")
 		seed      = flag.Int64("seed", 1, "random seed")
 		exact     = flag.Bool("exact", false, "also brute-force the exact count (small graphs only)")
 		stats     = flag.Bool("stats", false, "print engine load/communication statistics")
@@ -68,13 +71,20 @@ func main() {
 	}
 	fmt.Printf("plan   (%s, §6 heuristic):\n%s", alg, plan)
 
-	est, err := subgraph.Estimate(g, q, subgraph.EstimateOptions{
+	opts := subgraph.EstimateOptions{
 		Algorithm: alg,
 		Backend:   *backend,
 		Workers:   *workers,
 		Trials:    *trials,
 		Seed:      *seed,
-	})
+	}
+	if *relerr > 0 {
+		opts.Spec = subgraph.Spec{
+			Precision: subgraph.Precision{RelErr: *relerr, Confidence: *conf},
+			MaxTrials: *maxTrials,
+		}
+	}
+	est, err := subgraph.Estimate(g, q, opts)
 	if err != nil {
 		fatal(err)
 	}
@@ -82,6 +92,10 @@ func main() {
 	fmt.Printf("estimated matches:    %.1f  (scale factor k^k/k! = %.2f)\n", est.Matches, subgraph.ScaleFactor(q.K))
 	fmt.Printf("estimated subgraphs:  %.1f  (aut(Q) = %d)\n", est.Subgraphs, q.Automorphisms())
 	fmt.Printf("coefficient of variation: %.4f\n", est.CV)
+	if *relerr > 0 {
+		fmt.Printf("precision: stopped after %d trials (target ±%.0f%% at %.0f%% confidence; observed CI half-width %.1f%% of the mean)\n",
+			est.Trials, 100**relerr, 100**conf, 100*est.RelCI(*conf))
+	}
 	if *stats {
 		s := est.Stats
 		fmt.Printf("engine: %s backend, %d workers, total load %d, max load %d, messages %d, steals %d, table entries %d\n",

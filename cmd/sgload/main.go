@@ -53,6 +53,58 @@ type config struct {
 	HotSeeds int     `json:"hotSeeds"`
 	Seed     int64   `json:"seed"`
 	Label    string  `json:"label,omitempty"`
+
+	// Precision-targeted traffic. RelErr > 0 sends every request with a
+	// precision object instead of a fixed trial count; PrecisionMix mixes
+	// tiers ("relErr:weight,..." — a 0 relErr tier sends fixed-trial
+	// requests), modeling clients with different accuracy needs sharing
+	// one trial cache.
+	RelErr       float64 `json:"relErr,omitempty"`
+	Confidence   float64 `json:"confidence,omitempty"`
+	PrecisionMix string  `json:"precisionMix,omitempty"`
+	MaxTrials    int     `json:"maxTrials,omitempty"`
+}
+
+// tier is one precision class of the workload mix; cum is the cumulative
+// probability used when drawing.
+type tier struct {
+	relErr float64
+	cum    float64
+}
+
+// parseMix turns "0:0.4,0.1:0.3,0.02:0.3" into cumulative tiers. Weights
+// are normalized; a single -relerr run is the one-tier special case.
+func parseMix(cfg *config) ([]tier, error) {
+	raw := cfg.PrecisionMix
+	if raw == "" {
+		if cfg.RelErr > 0 {
+			return []tier{{relErr: cfg.RelErr, cum: 1}}, nil
+		}
+		return nil, nil
+	}
+	var tiers []tier
+	var total float64
+	for _, part := range strings.Split(raw, ",") {
+		re, weight, ok := strings.Cut(strings.TrimSpace(part), ":")
+		if !ok {
+			return nil, fmt.Errorf("bad -precision-mix entry %q (want relErr:weight)", part)
+		}
+		var t tier
+		if _, err := fmt.Sscanf(re, "%g", &t.relErr); err != nil {
+			return nil, fmt.Errorf("bad relErr in -precision-mix entry %q: %v", part, err)
+		}
+		var w float64
+		if _, err := fmt.Sscanf(weight, "%g", &w); err != nil || w <= 0 {
+			return nil, fmt.Errorf("bad weight in -precision-mix entry %q", part)
+		}
+		total += w
+		t.cum = total
+		tiers = append(tiers, t)
+	}
+	for i := range tiers {
+		tiers[i].cum /= total
+	}
+	return tiers, nil
 }
 
 // latencySummary is the percentile rollup of observed request latencies.
@@ -79,10 +131,16 @@ type serverSide struct {
 	Cache struct {
 		Hits       uint64  `json:"hits"`
 		Misses     uint64  `json:"misses"`
+		Extended   uint64  `json:"extended"`
 		Evictions  uint64  `json:"evictions"`
 		LockWaits  uint64  `json:"lockWaits"`
 		LockWaitMS float64 `json:"lockWaitMs"`
 	} `json:"cache"`
+	Precision struct {
+		Requests    uint64 `json:"requests"`
+		EarlyStops  uint64 `json:"earlyStops"`
+		TrialsSaved uint64 `json:"trialsSaved"`
+	} `json:"precision"`
 	Jobs struct {
 		Submitted    uint64  `json:"submitted"`
 		Coalesced    uint64  `json:"coalesced"`
@@ -124,7 +182,13 @@ type report struct {
 	CacheMisses   uint64         `json:"cacheMisses"`
 	CacheHitRate  float64        `json:"cacheHitRate"`
 	CoalesceRate  float64        `json:"coalesceRate"`
-	Server        serverSide     `json:"server"`
+	// TrialsSaved and ExtendedRate summarize the precision economy of the
+	// run: trials the server's adaptive stops skipped versus the requests'
+	// worst-case bounds, and the share of cache lookups that found a
+	// reusable-but-short entry and extended it instead of recomputing.
+	TrialsSaved  uint64     `json:"trialsSaved,omitempty"`
+	ExtendedRate float64    `json:"extendedRate,omitempty"`
+	Server       serverSide `json:"server"`
 }
 
 // worker is one closed-loop client: it owns a private RNG (derived from
@@ -138,6 +202,7 @@ type worker struct {
 	graphs    []string
 	queries   []string
 	hot       []int64
+	tiers     []tier // precision mix; empty = fixed-trial requests only
 	durations []time.Duration
 
 	requests uint64
@@ -166,6 +231,29 @@ func (w *worker) run(deadline time.Time, record bool) {
 		}
 		if w.cfg.Backend != "" {
 			req["backend"] = w.cfg.Backend
+		}
+		if len(w.tiers) > 0 {
+			// Draw this request's precision tier. Tiers share graph, query,
+			// and seed streams, so a tight tier extends the trials a loose
+			// tier (or the fixed-trial tier) already cached.
+			draw := w.rng.Float64()
+			picked := w.tiers[len(w.tiers)-1]
+			for _, t := range w.tiers {
+				if draw < t.cum {
+					picked = t
+					break
+				}
+			}
+			if picked.relErr > 0 {
+				prec := map[string]any{"relErr": picked.relErr}
+				if w.cfg.Confidence > 0 {
+					prec["confidence"] = w.cfg.Confidence
+				}
+				if w.cfg.MaxTrials > 0 {
+					prec["maxTrials"] = w.cfg.MaxTrials
+				}
+				req["precision"] = prec
+			}
 		}
 		body, err := json.Marshal(req)
 		if err != nil {
@@ -221,6 +309,10 @@ func main() {
 	flag.IntVar(&cfg.HotSeeds, "hot", 64, "size of the hot key set backing the hit ratio")
 	flag.Int64Var(&cfg.Seed, "seed", 1, "workload RNG seed (equal seeds replay the same mix)")
 	flag.StringVar(&cfg.Label, "label", "", "label recorded in the report (e.g. sharded/unsharded)")
+	flag.Float64Var(&cfg.RelErr, "relerr", 0, "send every request with this precision target instead of fixed trials")
+	flag.Float64Var(&cfg.Confidence, "confidence", 0, "confidence level sent with precision requests (0 = server default 0.95)")
+	flag.StringVar(&cfg.PrecisionMix, "precision-mix", "", "mixed precision tiers, e.g. '0:0.4,0.1:0.3,0.02:0.3' (relErr:weight; relErr 0 = fixed-trial tier)")
+	flag.IntVar(&cfg.MaxTrials, "max-trials", 0, "maxTrials sent with precision requests (0 = server default)")
 	out := flag.String("out", "", "write the JSON report here (default stdout)")
 	flag.Parse()
 	cfg.Duration = duration.String()
@@ -230,6 +322,10 @@ func main() {
 	}
 	if cfg.Workers <= 0 || cfg.Graphs <= 0 || cfg.HotSeeds <= 0 {
 		log.Fatal("sgload: -c, -graphs, and -hot must be positive")
+	}
+	tiers, err := parseMix(&cfg)
+	if err != nil {
+		log.Fatalf("sgload: %v", err)
 	}
 
 	base := "http://" + cfg.Addr
@@ -283,6 +379,7 @@ func main() {
 			graphs:    graphs,
 			queries:   queries,
 			hot:       hot,
+			tiers:     tiers,
 			durations: make([]time.Duration, 0, 1<<16),
 		}
 	}
@@ -313,6 +410,10 @@ func main() {
 	if rep.Server.Jobs.Submitted > 0 {
 		rep.CoalesceRate = float64(rep.Server.Jobs.Coalesced) / float64(rep.Server.Jobs.Submitted)
 	}
+	rep.TrialsSaved = rep.Server.Precision.TrialsSaved
+	if n := rep.Server.Cache.Hits + rep.Server.Cache.Misses; n > 0 {
+		rep.ExtendedRate = float64(rep.Server.Cache.Extended) / float64(n)
+	}
 
 	var sink io.Writer = os.Stdout
 	if *out != "" {
@@ -331,6 +432,10 @@ func main() {
 	log.Printf("sgload: %d requests in %.2fs = %.1f req/s (p50 %.2fms, p99 %.2fms, hit rate %.3f, errors %d)",
 		rep.Requests, rep.DurationSec, rep.ThroughputRPS,
 		rep.Latency.P50MS, rep.Latency.P99MS, rep.CacheHitRate, rep.Errors)
+	if p := rep.Server.Precision; p.Requests > 0 {
+		log.Printf("sgload: precision: %d targeted requests, %d early stops, %d trials saved, cache extended %d (rate %.3f)",
+			p.Requests, p.EarlyStops, p.TrialsSaved, rep.Server.Cache.Extended, rep.ExtendedRate)
+	}
 	if rep.Errors > rep.Requests/10 {
 		log.Fatalf("sgload: error rate %.1f%% exceeds 10%% — not a valid benchmark run",
 			100*float64(rep.Errors)/float64(rep.Requests))

@@ -134,13 +134,7 @@ func RunWithContext(ctx context.Context, g *graph.Graph, q *query.Graph, colorin
 	if opts.Trials > 0 && opts.Trials != trials {
 		return Estimate{}, fmt.Errorf("coloring: opts.Trials %d disagrees with %d supplied colorings", opts.Trials, trials)
 	}
-	est := Estimate{
-		Query:  q.Name,
-		Graph:  g.Name,
-		K:      q.K,
-		Trials: trials,
-		Counts: make([]uint64, trials),
-	}
+	counts := make([]uint64, trials)
 	// Resolve the plan once up front: trials share it, and the calibration
 	// behind the default planner should not run concurrently per trial.
 	copts := opts.Core
@@ -194,7 +188,7 @@ func RunWithContext(ctx context.Context, g *graph.Graph, q *query.Graph, colorin
 					mu.Unlock()
 					return
 				}
-				est.Counts[i] = cnt
+				counts[i] = cnt
 				stats[i] = st
 				if opts.Progress != nil {
 					opts.Progress(int(finished.Add(1)), trials)
@@ -206,11 +200,11 @@ func RunWithContext(ctx context.Context, g *graph.Graph, q *query.Graph, colorin
 	if firstErr != nil {
 		return Estimate{}, firstErr
 	}
-	for _, st := range stats {
-		accumulate(&est.Stats, st)
-	}
-	est.finalize(q)
-	return est, nil
+	// Assemble is the single place counts become an Estimate: batch runs,
+	// incremental Sessions, and cache-replayed prefixes all produce their
+	// results through it, so "bit-identical at equal trial counts" holds by
+	// construction rather than by parallel implementations agreeing.
+	return Assemble(g.Name, q, counts, stats), nil
 }
 
 func accumulate(dst *core.Stats, s core.Stats) {

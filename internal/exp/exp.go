@@ -33,6 +33,13 @@ type Config struct {
 	Graphs     []string // stand-in filter; nil = all ten
 	Queries    []string // query filter; nil = the Figure 8 catalog
 
+	// Precision target for the Figure 15 study: when RelErr > 0 the
+	// precision table adds a trials-to-target column — the trial count at
+	// which the adaptive (RelErr, Confidence) stopping rule would have
+	// fired, bounded by Trials. Confidence ≤ 0 means 0.95.
+	RelErr     float64
+	Confidence float64
+
 	// Weak-scaling workload (Figure 13). The paper uses 1024 vertices per
 	// rank with R-MAT edge factor 16 on Blue Gene/Q; the laptop-scale
 	// defaults are 256 and 8.

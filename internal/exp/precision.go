@@ -23,6 +23,11 @@ type Figure15Cell struct {
 	CV3          float64 // CV after the first 3 trials
 	CVFull       float64 // CV after all trials
 	Estimate     float64 // scaled match-count estimate
+	// TrialsToTarget is the trial count at which the adaptive
+	// (Config.RelErr, Config.Confidence) stopping rule fires, walked over
+	// the same counts; 0 when no target is configured. Capped at Trials —
+	// a cell reporting the cap may simply not have met the target.
+	TrialsToTarget int
 }
 
 // Figure15Result summarizes the precision study.
@@ -38,7 +43,13 @@ func Figure15(w io.Writer, cfg Config) (Figure15Result, error) {
 	cfg = cfg.withDefaults()
 	var res Figure15Result
 	header(w, fmt.Sprintf("Figure 15: color-coding precision, %d trials per combo", cfg.Trials))
-	fmt.Fprintf(w, "%-12s %-10s %10s %10s %14s\n", "Graph", "Query", "CV@3", "CV@full", "estimate")
+	adaptive := cfg.RelErr > 0
+	if adaptive {
+		fmt.Fprintf(w, "%-12s %-10s %10s %10s %14s %10s\n", "Graph", "Query", "CV@3", "CV@full", "estimate",
+			fmt.Sprintf("T@±%.0f%%", 100*cfg.RelErr))
+	} else {
+		fmt.Fprintf(w, "%-12s %-10s %10s %10s %14s\n", "Graph", "Query", "CV@3", "CV@full", "estimate")
+	}
 	for _, g := range cfg.graphs() {
 		for _, q := range cfg.queries() {
 			est, err := coloring.Run(g, q, coloring.Options{
@@ -55,7 +66,19 @@ func Figure15(w io.Writer, cfg Config) (Figure15Result, error) {
 				CVFull:   est.CV,
 				Estimate: est.Matches,
 			}
+			if adaptive {
+				rule := coloring.Adaptive{
+					Precision: coloring.Precision{RelErr: cfg.RelErr, Confidence: cfg.Confidence},
+					MaxTrials: cfg.Trials,
+				}
+				cell.TrialsToTarget, _ = rule.StopAt(est.Counts)
+			}
 			res.Cells = append(res.Cells, cell)
+			if adaptive {
+				fmt.Fprintf(w, "%-12s %-10s %10.3f %10.3f %14.1f %10d\n",
+					cell.Graph, cell.Query, cell.CV3, cell.CVFull, cell.Estimate, cell.TrialsToTarget)
+				continue
+			}
 			fmt.Fprintf(w, "%-12s %-10s %10.3f %10.3f %14.1f\n",
 				cell.Graph, cell.Query, cell.CV3, cell.CVFull, cell.Estimate)
 		}

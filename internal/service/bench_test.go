@@ -1,11 +1,10 @@
 package service
 
 import (
-	"fmt"
 	"sync/atomic"
 	"testing"
 
-	"repro/internal/coloring"
+	"repro/internal/core"
 )
 
 // Parallel microbenchmarks of the serving hot path's shared structures.
@@ -23,8 +22,8 @@ func benchmarkCacheGet(b *testing.B, shards int) {
 	defer c.Close()
 	const keys = 512
 	for i := 0; i < keys; i++ {
-		c.Put(Key{Graph: uint64(i), Query: "k3:6:5:3", Trials: 3, Seed: 1, Ranks: 4},
-			coloring.Estimate{Query: fmt.Sprintf("q%d", i), Counts: []uint64{1, 2, 3}, Matches: float64(i)})
+		c.Put(TrialKey{Graph: uint64(i), Query: "k3:6:5:3", Seed: 1, Ranks: 4},
+			TrialRun{Counts: []uint64{1, 2, 3}, Stats: make([]core.Stats, 3)})
 	}
 	var seq atomic.Uint64
 	b.ResetTimer()
@@ -32,8 +31,8 @@ func benchmarkCacheGet(b *testing.B, shards int) {
 		i := seq.Add(1) * 7919
 		for pb.Next() {
 			i++
-			k := Key{Graph: i % keys, Query: "k3:6:5:3", Trials: 3, Seed: 1, Ranks: 4}
-			if _, ok := c.Get(k); !ok {
+			k := TrialKey{Graph: i % keys, Query: "k3:6:5:3", Seed: 1, Ranks: 4}
+			if _, ok := c.Get(k, 3); !ok {
 				b.Error("warm key missing")
 				return
 			}

@@ -6,29 +6,39 @@ import (
 	"fmt"
 	"hash/fnv"
 	"io"
+	"math"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
-	"repro/internal/coloring"
 	"repro/internal/core"
 	"repro/internal/query"
 	"repro/internal/sig"
 )
 
-// Key identifies one estimation exactly: the data graph by topology
-// fingerprint, the query by canonical labeled signature, and every knob
-// that changes the estimate's bits. Two requests with equal keys get
-// byte-identical results, so the cached value can be replayed verbatim.
+// Key identifies one estimation request exactly: the data graph by
+// topology fingerprint, the query by canonical labeled signature, and
+// every knob that changes the estimate's bits — including, for
+// precision-targeted requests, the declared target (two requests with
+// different targets over the same trial stream may stop at different
+// trial counts). Two requests with equal keys get byte-identical results,
+// which is what makes singleflight coalescing sound. Fixed-trial requests
+// leave the precision fields zero, so their keys are identical to the
+// pre-precision API's (the compatibility-shim test pins this).
 type Key struct {
 	Graph     uint64 // Fingerprint of the data graph
 	Query     string // QuerySignature of the query
 	Algorithm core.Algorithm
 	Backend   string // canonical execution backend; changes Stats, not counts
-	Trials    int
+	Trials    int    // fixed trial count, or the adaptive MaxTrials bound
 	Seed      int64
 	Ranks     int // engine ranks/workers; changes Stats, not counts
+	// Precision-targeted requests: the declared target. Zero for
+	// fixed-trial requests.
+	RelErr     float64
+	Confidence float64
+	MinTrials  int
 }
 
 // hash folds every key field into one FNV-1a value for shard selection.
@@ -50,7 +60,100 @@ func (k Key) hash() uint64 {
 	h.Write(b[:])
 	binary.LittleEndian.PutUint64(b[:], uint64(k.Ranks))
 	h.Write(b[:])
+	binary.LittleEndian.PutUint64(b[:], math.Float64bits(k.RelErr))
+	h.Write(b[:])
+	binary.LittleEndian.PutUint64(b[:], math.Float64bits(k.Confidence))
+	h.Write(b[:])
+	binary.LittleEndian.PutUint64(b[:], uint64(k.MinTrials))
+	h.Write(b[:])
 	return h.Sum64()
+}
+
+// TrialKey identifies one seeded trial stream: every field that changes
+// the per-trial colorful counts or their engine stats — and nothing that
+// only changes how many of those trials a request consumes. Trial i's
+// count is a pure function of a TrialKey, which is what makes the cache
+// trial-granular: a request needing T trials is a pure hit against any
+// entry holding ≥ T of them, a tighter request extends the entry instead
+// of starting over, and a looser one prefix-slices it — every answer
+// bit-identical to an uncached run at the same effective trial count.
+type TrialKey struct {
+	Graph     uint64
+	Query     string
+	Algorithm core.Algorithm
+	Backend   string
+	Seed      int64
+	Ranks     int
+}
+
+// TrialKey projects the request key onto its trial stream: requests that
+// differ only in trial count or precision target share trials.
+func (k Key) TrialKey() TrialKey {
+	return TrialKey{
+		Graph:     k.Graph,
+		Query:     k.Query,
+		Algorithm: k.Algorithm,
+		Backend:   k.Backend,
+		Seed:      k.Seed,
+		Ranks:     k.Ranks,
+	}
+}
+
+// hash folds every TrialKey field into one FNV-1a value for shard
+// selection; same coverage rule as Key.hash.
+func (k TrialKey) hash() uint64 {
+	h := fnv.New64a()
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], k.Graph)
+	h.Write(b[:])
+	io.WriteString(h, k.Query) //nolint:errcheck // fnv never fails
+	binary.LittleEndian.PutUint64(b[:], uint64(k.Algorithm))
+	h.Write(b[:])
+	io.WriteString(h, k.Backend) //nolint:errcheck // fnv never fails
+	h.Write([]byte{0})
+	binary.LittleEndian.PutUint64(b[:], uint64(k.Seed))
+	h.Write(b[:])
+	binary.LittleEndian.PutUint64(b[:], uint64(k.Ranks))
+	h.Write(b[:])
+	return h.Sum64()
+}
+
+// TrialRun is the accumulated state of one seeded trial stream:
+// Counts[i] and Stats[i] are trial i's colorful count and engine
+// counters. A longer run strictly extends a shorter one over the same
+// TrialKey (trials are deterministic), so runs merge by keeping the
+// longest.
+type TrialRun struct {
+	Counts []uint64
+	Stats  []core.Stats
+}
+
+// Len returns the number of accumulated trials.
+func (r TrialRun) Len() int { return len(r.Counts) }
+
+// clone deep-copies a run: the cache and its callers must not share
+// backing arrays, or a caller mutating its result would corrupt the value
+// replayed to every later hit.
+func (r TrialRun) clone() TrialRun {
+	out := TrialRun{
+		Counts: append([]uint64(nil), r.Counts...),
+		Stats:  append([]core.Stats(nil), r.Stats...),
+	}
+	for i := range out.Stats {
+		if out.Stats[i].Loads != nil {
+			out.Stats[i].Loads = append([]int64(nil), out.Stats[i].Loads...)
+		}
+	}
+	return out
+}
+
+// prefix returns a view of the first n trials (or the whole run when it
+// is shorter). Views share backing arrays; clone before handing out.
+func (r TrialRun) prefix(n int) TrialRun {
+	if n <= 0 || n >= len(r.Counts) {
+		return r
+	}
+	return TrialRun{Counts: r.Counts[:n], Stats: r.Stats[:n]}
 }
 
 // QuerySignature canonicalizes a labeled query graph as its node count
@@ -78,12 +181,16 @@ func QuerySignature(q *query.Graph) string {
 }
 
 // CacheStats are the cache's observability counters, rolled up across
-// shards.
+// shards. Hits count lookups that found an entry (of any length — the
+// caller may still extend it); Extended counts entries grown in place by
+// a later run reusing the cached prefix.
 type CacheStats struct {
 	Entries    int    `json:"entries"`
+	Trials     int    `json:"trials"` // accumulated trials across entries
 	Capacity   int    `json:"capacity"`
 	Hits       uint64 `json:"hits"`
 	Misses     uint64 `json:"misses"`
+	Extended   uint64 `json:"extended"`
 	Evictions  uint64 `json:"evictions"`
 	Shards     int    `json:"shards"`
 	Rebalances uint64 `json:"rebalances"`
@@ -94,16 +201,18 @@ type CacheStats struct {
 // /v1/stats shards section.
 type CacheShardStats struct {
 	Entries   int    `json:"entries"`
+	Trials    int    `json:"trials"`
 	Capacity  int    `json:"capacity"`
 	Hits      uint64 `json:"hits"`
 	Misses    uint64 `json:"misses"`
+	Extended  uint64 `json:"extended"`
 	Evictions uint64 `json:"evictions"`
 	LockWait
 }
 
 type centry struct {
-	key Key
-	val coloring.Estimate
+	key TrialKey
+	val TrialRun
 }
 
 // cacheShard is one stripe of the cache: its own LRU list, index, and
@@ -111,24 +220,29 @@ type centry struct {
 type cacheShard struct {
 	mu  waitMutex
 	cap int
-	m   map[Key]*list.Element
+	m   map[TrialKey]*list.Element
 	lru *list.List // front = most recently used
 
 	hits      uint64
 	misses    uint64
+	extended  uint64
 	evictions uint64
+	trials    int // accumulated trials across resident entries
 	// demand is hits+inserts observed since the last rebalance; the
 	// rebalancer reads and resets it to apportion capacity by recent use.
 	demand uint64
 }
 
-// Cache is a bounded LRU map from estimation keys to finished estimates,
-// partitioned across shards by key hash so concurrent hits on different
-// keys do not contend on one mutex. The capacity is global: shards start
-// with an even split, and with more than one shard a background rebalancer
-// re-settles the per-shard allotments toward recent demand, so a skewed
-// key distribution doesn't waste the quiet shards' capacity. It is safe
-// for concurrent use; hits refresh recency within a shard.
+// Cache is a bounded LRU map from trial-stream keys to accumulated
+// per-trial runs, partitioned across shards by key hash so concurrent
+// hits on different keys do not contend on one mutex. Entries are
+// trial-granular: Put merges by keeping the longest run (per-trial counts
+// over one TrialKey are deterministic, so a longer run strictly extends a
+// shorter one), and Get serves any prefix. The capacity is global: shards
+// start with an even split, and with more than one shard a background
+// rebalancer re-settles the per-shard allotments toward recent demand, so
+// a skewed key distribution doesn't waste the quiet shards' capacity. It
+// is safe for concurrent use; hits refresh recency within a shard.
 type Cache struct {
 	totalCap int
 	shards   []*cacheShard
@@ -142,7 +256,7 @@ type Cache struct {
 // rebalancer.
 const cacheRebalanceEvery = time.Second
 
-// NewCache returns a cache holding up to capacity estimates (≤ 0 means
+// NewCache returns a cache holding up to capacity trial runs (≤ 0 means
 // 4096) across shards stripes (≤ 0 means DefaultShards; clamped so every
 // shard holds at least one entry). Close the cache when done: with more
 // than one shard it runs a background capacity rebalancer.
@@ -164,7 +278,7 @@ func NewCache(capacity, shards int) *Cache {
 		if i < capacity%n {
 			cp++
 		}
-		c.shards[i] = &cacheShard{cap: cp, m: make(map[Key]*list.Element), lru: list.New()}
+		c.shards[i] = &cacheShard{cap: cp, m: make(map[TrialKey]*list.Element), lru: list.New()}
 	}
 	if n > 1 {
 		go c.rebalanceLoop()
@@ -178,47 +292,67 @@ func (c *Cache) Close() {
 	c.stopOnce.Do(func() { close(c.stop) })
 }
 
-func (c *Cache) shardFor(k Key) *cacheShard {
+func (c *Cache) shardFor(k TrialKey) *cacheShard {
 	return c.shards[k.hash()%uint64(len(c.shards))]
 }
 
-// clone deep-copies an estimate's slices: the cache and its callers must
-// not share backing arrays, or a caller mutating result.Counts would
-// corrupt the value replayed to every later hit.
-func clone(e coloring.Estimate) coloring.Estimate {
-	e.Counts = append([]uint64(nil), e.Counts...)
-	if e.Stats.Loads != nil {
-		e.Stats.Loads = append([]int64(nil), e.Stats.Loads...)
-	}
-	return e
-}
-
-// Get returns the cached estimate for k, if present. The result is the
-// caller's to mutate: the deep copy happens after the shard unlocks —
-// safe because a stored value's backing arrays are only ever replaced
-// (Put installs a fresh clone), never mutated in place — so the shard's
-// critical section allocates nothing.
-func (c *Cache) Get(k Key) (coloring.Estimate, bool) {
+// Get returns the cached trial run for k, if present — limited to the
+// first limit trials when limit > 0 (a request never needs trials past
+// its own bound, so the copy stays proportional to the request). The
+// result is the caller's to mutate: the deep copy happens after the shard
+// unlocks — safe because a stored run's backing arrays are only ever
+// replaced (Put installs a fresh clone), never mutated in place — so the
+// shard's critical section allocates nothing.
+func (c *Cache) Get(k TrialKey, limit int) (TrialRun, bool) {
 	sh := c.shardFor(k)
 	sh.mu.Lock()
 	el, ok := sh.m[k]
 	if !ok {
 		sh.misses++
 		sh.mu.Unlock()
-		return coloring.Estimate{}, false
+		return TrialRun{}, false
 	}
 	sh.hits++
 	sh.demand++
 	sh.lru.MoveToFront(el)
 	v := el.Value.(*centry).val
 	sh.mu.Unlock()
-	return clone(v), true
+	return v.prefix(limit).clone(), true
 }
 
-// Put stores a copy of v under k, evicting the shard's least-recently-used
-// entries if full. Re-putting an existing key refreshes its value and
-// recency.
-func (c *Cache) Put(k Key, v coloring.Estimate) {
+// Counts returns a copy of just the cached per-trial counts for k (up to
+// limit when limit > 0), without cloning the per-trial engine stats. The
+// adaptive stopping rule only needs the counts, so precision replays peek
+// here first and then fetch exactly the stopping prefix with Get — the
+// stats clone stays proportional to the trials actually used, not the
+// request's worst-case bound. A peek, not a lookup: it refreshes recency
+// but leaves the hit/miss counters to the Get (or the flight's Get) that
+// follows, so each request still counts exactly once.
+func (c *Cache) Counts(k TrialKey, limit int) ([]uint64, bool) {
+	sh := c.shardFor(k)
+	sh.mu.Lock()
+	el, ok := sh.m[k]
+	if !ok {
+		sh.mu.Unlock()
+		return nil, false
+	}
+	sh.lru.MoveToFront(el)
+	v := el.Value.(*centry).val
+	sh.mu.Unlock()
+	counts := v.Counts
+	if limit > 0 && limit < len(counts) {
+		counts = counts[:limit]
+	}
+	return append([]uint64(nil), counts...), true
+}
+
+// Put stores a copy of the run under k, evicting the shard's
+// least-recently-used entries if full. Runs merge by length: a run no
+// longer than the resident one only refreshes recency (the resident
+// prefix is bit-identical by determinism), a longer one replaces it —
+// counted as an extension when it grew a nonempty entry, the trial-reuse
+// event the redesign exists for.
+func (c *Cache) Put(k TrialKey, v TrialRun) {
 	sh := c.shardFor(k)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
@@ -227,7 +361,14 @@ func (c *Cache) Put(k Key, v coloring.Estimate) {
 		// keys without a Get, and their shard must not read as idle to
 		// the rebalancer while its working set is the hottest one.
 		sh.demand++
-		el.Value.(*centry).val = clone(v)
+		ce := el.Value.(*centry)
+		if cur := ce.val.Len(); cur < v.Len() {
+			if cur > 0 {
+				sh.extended++
+			}
+			sh.trials += v.Len() - cur
+			ce.val = v.clone()
+		}
 		sh.lru.MoveToFront(el)
 		return
 	}
@@ -238,7 +379,8 @@ func (c *Cache) Put(k Key, v coloring.Estimate) {
 	for sh.lru.Len() >= sh.cap && sh.lru.Len() > 0 {
 		sh.evictOldestLocked()
 	}
-	sh.m[k] = sh.lru.PushFront(&centry{key: k, val: clone(v)})
+	sh.m[k] = sh.lru.PushFront(&centry{key: k, val: v.clone()})
+	sh.trials += v.Len()
 }
 
 func (sh *cacheShard) evictOldestLocked() {
@@ -247,7 +389,9 @@ func (sh *cacheShard) evictOldestLocked() {
 		return
 	}
 	sh.lru.Remove(oldest)
-	delete(sh.m, oldest.Value.(*centry).key)
+	ce := oldest.Value.(*centry)
+	sh.trials -= ce.val.Len()
+	delete(sh.m, ce.key)
 	sh.evictions++
 }
 
@@ -379,8 +523,10 @@ func (c *Cache) Stats() CacheStats {
 	}
 	for _, ss := range c.ShardStats() {
 		st.Entries += ss.Entries
+		st.Trials += ss.Trials
 		st.Hits += ss.Hits
 		st.Misses += ss.Misses
+		st.Extended += ss.Extended
 		st.Evictions += ss.Evictions
 		st.LockWait.add(ss.LockWait)
 	}
@@ -394,9 +540,11 @@ func (c *Cache) ShardStats() []CacheShardStats {
 		sh.mu.Lock()
 		out[i] = CacheShardStats{
 			Entries:   sh.lru.Len(),
+			Trials:    sh.trials,
 			Capacity:  sh.cap,
 			Hits:      sh.hits,
 			Misses:    sh.misses,
+			Extended:  sh.extended,
 			Evictions: sh.evictions,
 		}
 		sh.mu.Unlock()

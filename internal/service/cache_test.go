@@ -1,38 +1,43 @@
 package service_test
 
 import (
-	"fmt"
 	"sync"
 	"testing"
 
-	"repro/internal/coloring"
+	"repro/internal/core"
 	"repro/internal/query"
 	"repro/internal/service"
 )
 
-func key(i int) service.Key {
-	return service.Key{Graph: uint64(i), Query: "k3:6:5:3", Trials: 3, Seed: 1, Ranks: 4}
+func key(i int) service.TrialKey {
+	return service.TrialKey{Graph: uint64(i), Query: "k3:6:5:3", Seed: 1, Ranks: 4}
 }
 
-func est(i int) coloring.Estimate {
-	return coloring.Estimate{Query: fmt.Sprintf("q%d", i), Matches: float64(i)}
+// run builds a deterministic trial run for key i holding n trials: trial
+// t's count is i*1000+t, so prefixes are checkable.
+func run(i, n int) service.TrialRun {
+	r := service.TrialRun{Counts: make([]uint64, n), Stats: make([]core.Stats, n)}
+	for t := range r.Counts {
+		r.Counts[t] = uint64(i*1000 + t)
+	}
+	return r
 }
 
 func TestCacheLRUEvictionOrder(t *testing.T) {
 	c := service.NewCache(2, 1)
-	c.Put(key(1), est(1))
-	c.Put(key(2), est(2))
-	if _, ok := c.Get(key(1)); !ok { // refresh 1: now 2 is the LRU entry
+	c.Put(key(1), run(1, 3))
+	c.Put(key(2), run(2, 3))
+	if _, ok := c.Get(key(1), 0); !ok { // refresh 1: now 2 is the LRU entry
 		t.Fatal("key 1 missing")
 	}
-	c.Put(key(3), est(3)) // evicts 2, not 1
-	if _, ok := c.Get(key(2)); ok {
+	c.Put(key(3), run(3, 3)) // evicts 2, not 1
+	if _, ok := c.Get(key(2), 0); ok {
 		t.Error("key 2 should have been evicted as least recently used")
 	}
-	if v, ok := c.Get(key(1)); !ok || v.Query != "q1" {
+	if v, ok := c.Get(key(1), 0); !ok || v.Counts[0] != 1000 {
 		t.Errorf("key 1 should survive; got %+v ok=%v", v, ok)
 	}
-	if v, ok := c.Get(key(3)); !ok || v.Query != "q3" {
+	if v, ok := c.Get(key(3), 0); !ok || v.Counts[0] != 3000 {
 		t.Errorf("key 3 should be present; got %+v ok=%v", v, ok)
 	}
 	st := c.Stats()
@@ -42,23 +47,61 @@ func TestCacheLRUEvictionOrder(t *testing.T) {
 	if st.Entries != 2 {
 		t.Errorf("entries = %d, want 2", st.Entries)
 	}
-}
-
-func TestCachePutRefreshesExisting(t *testing.T) {
-	c := service.NewCache(2, 1)
-	c.Put(key(1), est(1))
-	c.Put(key(1), est(9))
-	if st := c.Stats(); st.Entries != 1 {
-		t.Fatalf("entries = %d, want 1 after double put", st.Entries)
-	}
-	if v, _ := c.Get(key(1)); v.Query != "q9" {
-		t.Errorf("re-put did not refresh value: got %q", v.Query)
+	if st.Trials != 6 {
+		t.Errorf("trials = %d, want 6 across 2 entries", st.Trials)
 	}
 }
 
-// TestCacheConcurrent hammers one cache from many goroutines; run under
-// -race. It checks the counters stay consistent and the capacity bound
-// holds.
+// TestCacheMergeKeepsLongestRun is the trial-granular contract: a longer
+// run extends the entry (counted as an extension), an equal or shorter
+// one only refreshes recency — the resident prefix is already identical
+// by determinism, so nothing is overwritten or truncated.
+func TestCacheMergeKeepsLongestRun(t *testing.T) {
+	c := service.NewCache(4, 1)
+	c.Put(key(1), run(1, 3))
+	c.Put(key(1), run(1, 8)) // extension: 3 → 8 trials
+	if v, _ := c.Get(key(1), 0); v.Len() != 8 {
+		t.Fatalf("entry holds %d trials, want 8 after extension", v.Len())
+	}
+	c.Put(key(1), run(1, 5)) // shorter re-put must not shrink the entry
+	v, _ := c.Get(key(1), 0)
+	if v.Len() != 8 {
+		t.Fatalf("entry holds %d trials, want 8 after shorter re-put", v.Len())
+	}
+	for t2, want := range v.Counts {
+		if v.Counts[t2] != uint64(1000+t2) {
+			t.Fatalf("trial %d count %d, want %d", t2, v.Counts[t2], want)
+		}
+	}
+	st := c.Stats()
+	if st.Extended != 1 {
+		t.Errorf("extended = %d, want exactly 1 (the 3→8 grow)", st.Extended)
+	}
+	if st.Entries != 1 || st.Trials != 8 {
+		t.Errorf("entries/trials = %d/%d, want 1/8", st.Entries, st.Trials)
+	}
+}
+
+// TestCacheGetPrefixLimit: a bounded Get copies only the requested
+// prefix — a request never pays for trials past its own bound.
+func TestCacheGetPrefixLimit(t *testing.T) {
+	c := service.NewCache(4, 1)
+	c.Put(key(1), run(1, 10))
+	v, ok := c.Get(key(1), 4)
+	if !ok || v.Len() != 4 || len(v.Stats) != 4 {
+		t.Fatalf("limited Get returned %d trials, want 4", v.Len())
+	}
+	if v.Counts[3] != 1003 {
+		t.Errorf("prefix content wrong: %v", v.Counts)
+	}
+	if v, _ := c.Get(key(1), 99); v.Len() != 10 {
+		t.Errorf("over-limit Get returned %d trials, want all 10", v.Len())
+	}
+}
+
+// TestCacheConcurrent hammers one cache from many goroutines with mixed
+// lengths; run under -race. It checks the counters stay consistent, the
+// capacity bound holds, and entries only ever grow.
 func TestCacheConcurrent(t *testing.T) {
 	const (
 		workers = 8
@@ -74,13 +117,14 @@ func TestCacheConcurrent(t *testing.T) {
 			defer wg.Done()
 			for i := 0; i < ops; i++ {
 				k := key((w*31 + i*7) % keys)
-				if v, ok := c.Get(k); ok {
-					if v.Matches != float64(int(k.Graph)) {
-						t.Errorf("cache returned wrong value for key %d: %v", k.Graph, v.Matches)
+				n := 1 + (w+i)%4
+				if v, ok := c.Get(k, 0); ok {
+					if v.Counts[0] != uint64(int(k.Graph)*1000) {
+						t.Errorf("cache returned wrong value for key %d: %v", k.Graph, v.Counts)
 						return
 					}
 				} else {
-					c.Put(k, est(int(k.Graph)))
+					c.Put(k, run(int(k.Graph), n))
 				}
 			}
 		}(w)
@@ -99,18 +143,22 @@ func TestCacheConcurrent(t *testing.T) {
 }
 
 // TestCacheIsolatesSlices checks callers and the cache never share
-// Counts backing arrays in either direction.
+// backing arrays in either direction — counts and per-trial stats both.
 func TestCacheIsolatesSlices(t *testing.T) {
 	c := service.NewCache(4, 1)
-	orig := coloring.Estimate{Query: "q", Counts: []uint64{1, 2, 3}}
+	orig := service.TrialRun{
+		Counts: []uint64{1, 2, 3},
+		Stats:  []core.Stats{{Loads: []int64{7}}, {}, {}},
+	}
 	c.Put(key(1), orig)
 	orig.Counts[0] = 99 // caller mutates after Put
-	got, ok := c.Get(key(1))
-	if !ok || got.Counts[0] != 1 {
-		t.Errorf("Put did not copy Counts: got %v", got.Counts)
+	orig.Stats[0].Loads[0] = 99
+	got, ok := c.Get(key(1), 0)
+	if !ok || got.Counts[0] != 1 || got.Stats[0].Loads[0] != 7 {
+		t.Errorf("Put did not copy run: got %+v", got)
 	}
 	got.Counts[1] = 77 // caller mutates a hit
-	again, _ := c.Get(key(1))
+	again, _ := c.Get(key(1), 0)
 	if again.Counts[1] != 2 {
 		t.Errorf("Get did not copy Counts: got %v", again.Counts)
 	}

@@ -25,8 +25,19 @@ import (
 //	POST   /v1/jobs             submit an estimation job (EstimateRequest JSON) → 202 JobInfo
 //	GET    /v1/jobs             list retained jobs, newest first
 //	GET    /v1/jobs/{id}        one job's state; ?wait=2s long-polls for completion
+//	GET    /v1/jobs/{id}/events server-sent events: per-trial progress (trial
+//	                            index, running mean, CV) pushed as the job runs,
+//	                            ending with one event named after the terminal
+//	                            state — no poll loop needed
 //	GET    /v1/jobs/{id}/result a finished job's estimate (?wait= supported)
 //	DELETE /v1/jobs/{id}        cancel a queued or running job
+//
+// Estimate and job requests accept a "precision" object alongside
+// "trials" (see PrecisionSpec): instead of a fixed trial count the job
+// runs until the declared (relErr, confidence) target is met, reusing and
+// extending previously cached trials for the same stream; the adaptive
+// outcome is visible in /v1/stats under "precision" (earlyStops,
+// trialsSaved) and "cache" (extended).
 //
 // Estimate responses carry X-Cache: HIT|MISS and X-Elapsed-Ms headers; the
 // body is exactly the estimate, so a cache hit replays the original body
@@ -45,6 +56,7 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmitJob)
 	mux.HandleFunc("GET /v1/jobs", s.handleListJobs)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleGetJob)
+	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleJobEvents)
 	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleJobResult)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancelJob)
 	return mux

@@ -14,6 +14,17 @@ import (
 // manager does not hold (never submitted, or expired out of retention).
 var ErrUnknownJob = errors.New("service: unknown job")
 
+// clone deep-copies an estimate's slices: retained job results and their
+// callers must not share backing arrays, or a caller mutating
+// result.Counts would corrupt the value replayed to every later fetch.
+func clone(e coloring.Estimate) coloring.Estimate {
+	e.Counts = append([]uint64(nil), e.Counts...)
+	if e.Stats.Loads != nil {
+		e.Stats.Loads = append([]int64(nil), e.Stats.Loads...)
+	}
+	return e
+}
+
 // ErrJobNotDone is returned when a job's result is requested before the
 // job reached a terminal state.
 var ErrJobNotDone = errors.New("service: job not finished")
@@ -46,9 +57,18 @@ func (st JobState) Terminal() bool {
 }
 
 // JobProgress reports per-trial progress of a running estimation.
+// TrialsTotal is the job's trial bound: the fixed trial count, or — for
+// precision-targeted jobs — the adaptive MaxTrials worst case, which an
+// early stop leaves unreached (TrialsDone < TrialsTotal on a done job
+// means the precision target was met early). Mean and CV are the running
+// statistics over the landed trials: the observed coefficient of
+// variation is what the adaptive stopping rule drives below the declared
+// target.
 type JobProgress struct {
-	TrialsDone  int `json:"trialsDone"`
-	TrialsTotal int `json:"trialsTotal"`
+	TrialsDone  int     `json:"trialsDone"`
+	TrialsTotal int     `json:"trialsTotal"`
+	Mean        float64 `json:"mean,omitempty"`
+	CV          float64 `json:"cv,omitempty"`
 }
 
 // JobInfo is the wire description of one job. The result itself is not
@@ -82,12 +102,30 @@ type JobInfo struct {
 // one client giving up never kills another client's computation, and a
 // computation nobody waits for stops burning its worker.
 type flight struct {
-	key        Key
-	cancel     context.CancelFunc
-	jobs       []*job // attached waiters (guarded by jobManager.mu)
-	running    bool
-	finished   bool
-	trialsDone atomic.Int64 // per-trial progress from the coloring loop
+	key      Key
+	cancel   context.CancelFunc
+	jobs     []*job // attached waiters (guarded by jobManager.mu)
+	running  bool
+	finished bool
+	// prog is the single source of per-trial progress: one snapshot per
+	// landed trial, published atomically so a reader never pairs trial
+	// N's count with trial N-1's statistics.
+	prog atomic.Pointer[flightProgress]
+}
+
+// flightProgress is the running-statistics snapshot a flight publishes
+// after every landed trial, for job polling and the SSE stream.
+type flightProgress struct {
+	done     int
+	mean, cv float64
+}
+
+// progress returns the flight's latest snapshot (zero before any trial).
+func (fl *flight) progress() flightProgress {
+	if p := fl.prog.Load(); p != nil {
+		return *p
+	}
+	return flightProgress{}
 }
 
 // job is one submitted estimation with its own id and lifecycle. Several
@@ -357,7 +395,7 @@ func (m *jobManager) finalizeOwnedLocked(j *job, est coloring.Estimate, err erro
 	// Freeze progress: a canceled follower's snapshot must not keep
 	// advancing with the shared flight it detached from.
 	if j.fl != nil {
-		j.trialsDone = int(j.fl.trialsDone.Load())
+		j.trialsDone = j.fl.progress().done
 	}
 	if j.timer != nil {
 		j.timer.Stop()
@@ -366,7 +404,14 @@ func (m *jobManager) finalizeOwnedLocked(j *job, est coloring.Estimate, err erro
 	switch {
 	case err == nil:
 		j.state = JobDone
-		j.trialsDone = j.trialsTotal
+		// The estimate's own trial count is the effective one: a
+		// precision job that stopped early finishes with trialsDone below
+		// the trialsTotal bound — that gap is the saved compute.
+		if est.Trials > 0 {
+			j.trialsDone = est.Trials
+		} else {
+			j.trialsDone = j.trialsTotal
+		}
 		j.est = est
 	case errors.Is(err, context.Canceled):
 		j.state = JobCanceled
@@ -514,8 +559,15 @@ func (m *jobManager) infoLocked(j *job) JobInfo {
 	}
 	if j.state.Terminal() {
 		info.Progress.TrialsDone = j.trialsDone
+		if j.state == JobDone {
+			info.Progress.Mean = j.est.MeanColorful
+			info.Progress.CV = j.est.CV
+		}
 	} else if j.fl != nil {
-		info.Progress.TrialsDone = int(j.fl.trialsDone.Load())
+		p := j.fl.progress()
+		info.Progress.TrialsDone = p.done
+		info.Progress.Mean = p.mean
+		info.Progress.CV = p.cv
 	}
 	if !j.started.IsZero() {
 		t := j.started

@@ -140,6 +140,10 @@ type Service struct {
 	estimates       atomic.Uint64 // estimations actually computed
 	batches         atomic.Uint64
 	coloringsShared atomic.Uint64 // batch jobs that reused another job's colorings
+
+	precisionReqs atomic.Uint64 // precision-targeted requests resolved
+	earlyStops    atomic.Uint64 // ...that stopped below their MaxTrials bound
+	trialsSaved   atomic.Uint64 // trials the adaptive stops skipped vs MaxTrials
 }
 
 // New starts a service. Close releases its workers.
@@ -274,6 +278,41 @@ type EstimateRequest struct {
 	TimeoutMS int64 `json:"timeoutMs,omitempty"`
 	// NoCache skips the result cache lookup (the result is still stored).
 	NoCache bool `json:"noCache,omitempty"`
+	// Precision switches the request from "run Trials colorings" to
+	// "reach this precision": the job runs trials until the observed
+	// confidence interval meets the declared target, reusing and
+	// extending previously cached trials for the same stream. With
+	// Precision set, Trials (if > 0) acts as the MaxTrials default.
+	Precision *PrecisionSpec `json:"precision,omitempty"`
+}
+
+// PrecisionSpec is the wire form of a declared accuracy target: stop
+// adding trials once the estimate's two-sided Confidence-level confidence
+// interval has half-width at most RelErr of the mean. The stopping
+// decision is a pure function of the per-trial counts, so a
+// precision-targeted request is exactly as deterministic and cacheable as
+// a fixed-trial one: it resolves to the same estimate a fixed request
+// with its stopping trial count would get.
+type PrecisionSpec struct {
+	// RelErr is the target relative error (0.1 = ±10%); must be > 0.
+	RelErr float64 `json:"relErr"`
+	// Confidence is the two-sided confidence level in (0,1); 0 means 0.95.
+	Confidence float64 `json:"confidence,omitempty"`
+	// MinTrials is the earliest trial the rule may fire at (0 means 3).
+	MinTrials int `json:"minTrials,omitempty"`
+	// MaxTrials caps the adaptive run (0 means the request's trials, else
+	// the server's max-trials limit).
+	MaxTrials int `json:"maxTrials,omitempty"`
+}
+
+// adaptive converts a normalized spec (plus the request's effective
+// trial bound) to the coloring layer's stopping rule.
+func (p PrecisionSpec) adaptive(maxTrials int) coloring.Adaptive {
+	return coloring.Adaptive{
+		Precision: coloring.Precision{RelErr: p.RelErr, Confidence: p.Confidence},
+		MinTrials: p.MinTrials,
+		MaxTrials: maxTrials,
+	}
 }
 
 // EstimateResult is one finished estimation.
@@ -344,6 +383,41 @@ func (s *Service) normalize(req EstimateRequest) (EstimateRequest, error) {
 		return req, err
 	}
 	req.Backend = backend
+	if p := req.Precision; p != nil {
+		// Normalize into a fresh copy: callers (and batches fanning one
+		// spec across queries) must not see their spec mutated.
+		np := *p
+		if np.RelErr <= 0 {
+			return req, fmt.Errorf("service: precision.relErr must be > 0 (got %g)", np.RelErr)
+		}
+		if np.Confidence == 0 {
+			np.Confidence = coloring.DefaultConfidence
+		}
+		if np.Confidence <= 0 || np.Confidence >= 1 {
+			return req, fmt.Errorf("service: precision.confidence %g outside (0,1)", np.Confidence)
+		}
+		if np.MinTrials <= 0 {
+			np.MinTrials = coloring.DefaultMinTrials
+		}
+		if np.MinTrials < 2 {
+			np.MinTrials = 2
+		}
+		if np.MaxTrials <= 0 {
+			if req.Trials > 0 {
+				np.MaxTrials = req.Trials
+			} else {
+				np.MaxTrials = s.opts.MaxTrials
+			}
+		}
+		if np.MinTrials > np.MaxTrials {
+			np.MinTrials = np.MaxTrials
+		}
+		// The adaptive bound rides in Trials from here on: it is the
+		// worst-case trial count (sizing, limits, progress totals) and
+		// keys the request together with the precision fields.
+		req.Trials = np.MaxTrials
+		req.Precision = &np
+	}
 	if req.Trials <= 0 {
 		req.Trials = s.opts.DefaultTrials
 	}
@@ -382,9 +456,12 @@ func (s *Service) armDeadline(j *job, req EstimateRequest) {
 	}
 }
 
-// key builds the cache key for a normalized request.
+// key builds the request key for a normalized request. Fixed-trial
+// requests leave the precision fields zero, so their keys are unchanged
+// from the pre-precision API — the compatibility-shim test pins this
+// against silent re-keying.
 func (s *Service) key(fp uint64, q *query.Graph, alg core.Algorithm, req EstimateRequest) Key {
-	return Key{
+	k := Key{
 		Graph:     fp,
 		Query:     QuerySignature(q),
 		Algorithm: alg,
@@ -393,20 +470,86 @@ func (s *Service) key(fp uint64, q *query.Graph, alg core.Algorithm, req Estimat
 		Seed:      req.Seed,
 		Ranks:     req.Ranks,
 	}
+	if p := req.Precision; p != nil {
+		k.RelErr = p.RelErr
+		k.Confidence = p.Confidence
+		k.MinTrials = p.MinTrials
+	}
+	return k
 }
 
-// run executes one estimation with the given (possibly shared) colorings
-// and stores the result in the cache. It is the only place estimates are
-// computed, so cached and fresh results are bit-identical by construction:
-// the path below — Draw + RunWith — is exactly coloring.Run, which is
-// exactly subgraph.Estimate.
-func (s *Service) run(ctx context.Context, h *Handle, q *query.Graph, alg core.Algorithm, req EstimateRequest, key Key, colorings [][]uint8, progress func(done, total int)) (coloring.Estimate, error) {
-	if colorings == nil {
-		colorings = coloring.Draw(h.Graph().N(), q.K, req.Trials, req.Seed)
+// resolveTrials decides a normalized request's effective trial count from
+// the trials accumulated so far: the fixed count, or — for a precision
+// request — the adaptive stopping rule walked over the counts. The rule
+// is a pure function of the count prefix, so replaying it over cached
+// trials stops at exactly the trial a live run stopped at.
+func resolveTrials(req EstimateRequest, counts []uint64) (int, bool) {
+	if p := req.Precision; p != nil {
+		return p.adaptive(req.Trials).StopAt(counts)
 	}
-	est, err := coloring.RunWithContext(ctx, h.Graph(), q, colorings, coloring.Options{
-		Parallel: req.Parallel,
-		Progress: progress,
+	if len(counts) >= req.Trials {
+		return req.Trials, true
+	}
+	return 0, false
+}
+
+// tryReplay answers a request purely from cached trials: a fixed-trial
+// request whose count is already accumulated is prefix-sliced, a
+// precision request whose target is met within the cached trials stops
+// where a live run would have. The assembled estimate is bit-identical to
+// an uncached run at the same effective trial count (same counts, same
+// Assemble). The boolean is false when the cache cannot fully answer —
+// the flight then extends the cached trials instead of starting over.
+func (s *Service) tryReplay(tk TrialKey, q *query.Graph, req EstimateRequest) (coloring.Estimate, bool) {
+	// Peek at the counts alone first: the stopping decision needs nothing
+	// else, and a precision request's bound (MaxTrials, up to the server
+	// limit) can dwarf the handful of trials it actually uses — the
+	// per-trial stats clone below is then sized by the answer, not the
+	// bound.
+	counts, ok := s.cache.Counts(tk, req.Trials)
+	if !ok {
+		return coloring.Estimate{}, false
+	}
+	used, ok := resolveTrials(req, counts)
+	if !ok {
+		return coloring.Estimate{}, false
+	}
+	run, ok := s.cache.Get(tk, used)
+	if !ok || run.Len() < used {
+		// Evicted between the peek and the fetch: a miss like any other.
+		return coloring.Estimate{}, false
+	}
+	run = run.prefix(used)
+	est := coloring.Assemble("", q, run.Counts, run.Stats)
+	s.notePrecision(req, used)
+	return est, true
+}
+
+// notePrecision records a precision-targeted request's adaptive outcome:
+// stopping below the MaxTrials bound is an early stop, and the trials not
+// run are the compute the declarative API saved over the worst case.
+func (s *Service) notePrecision(req EstimateRequest, used int) {
+	if req.Precision == nil {
+		return
+	}
+	s.precisionReqs.Add(1)
+	if used < req.Trials {
+		s.earlyStops.Add(1)
+		s.trialsSaved.Add(uint64(req.Trials - used))
+	}
+}
+
+// run executes one estimation as an incremental trial session: cached
+// trials for the same stream are preloaded (the extension path — only the
+// missing trials run), the session advances to the fixed trial count or
+// until the adaptive stopping rule fires, and the accumulated trials go
+// back to the cache so the next request starts where this one stopped.
+// It is the only place estimates are computed, and every path assembles
+// through coloring.Assemble, so cached, extended, and fresh results are
+// bit-identical by construction.
+func (s *Service) run(ctx context.Context, h *Handle, q *query.Graph, alg core.Algorithm, req EstimateRequest, key Key, colorings [][]uint8, onTrial func(done int, mean, cv float64)) (coloring.Estimate, error) {
+	sess, err := coloring.NewSession(h.Graph(), q, coloring.Options{
+		Seed: req.Seed,
 		Core: core.Options{
 			Algorithm: alg,
 			Backend:   req.Backend,
@@ -416,9 +559,36 @@ func (s *Service) run(ctx context.Context, h *Handle, q *query.Graph, alg core.A
 	if err != nil {
 		return coloring.Estimate{}, err
 	}
+	sess.OnTrial(onTrial)
+	if colorings != nil {
+		sess.Predraw(colorings)
+	}
+	if !req.NoCache {
+		if cached, ok := s.cache.Get(key.TrialKey(), req.Trials); ok {
+			if err := sess.Preload(cached.Counts, cached.Stats); err != nil {
+				return coloring.Estimate{}, err
+			}
+		}
+	}
+	used := req.Trials
+	if p := req.Precision; p != nil {
+		used, err = sess.RunUntil(ctx, p.adaptive(req.Trials), req.Parallel, 0)
+	} else {
+		err = sess.ExtendTo(ctx, req.Trials, req.Parallel)
+	}
+	if err != nil {
+		return coloring.Estimate{}, err
+	}
+	est := sess.EstimateAt(used)
 	s.estimates.Add(1)
-	s.engine.record(est.Stats)
-	s.cache.Put(key, est)
+	if sess.Computed() > 0 {
+		// Only the trials computed here count toward engine telemetry;
+		// preloaded trials' work was recorded when it actually ran.
+		s.engine.record(sess.ComputedStats())
+	}
+	counts, stats := sess.Run()
+	s.cache.Put(key.TrialKey(), TrialRun{Counts: counts, Stats: stats})
+	s.notePrecision(req, used)
 	return est, nil
 }
 
@@ -458,7 +628,7 @@ func (s *Service) submitJob(req EstimateRequest, colorings func() [][]uint8) (*j
 	// the allocation stays off the global critical section.
 	s.jobs.assignID(j)
 	if !req.NoCache {
-		if est, ok := s.cache.Get(key); ok {
+		if est, ok := s.tryReplay(key.TrialKey(), q, req); ok {
 			h.Release()
 			s.jobs.addCached(j, est)
 			return j, nil
@@ -469,7 +639,15 @@ func (s *Service) submitJob(req EstimateRequest, colorings func() [][]uint8) (*j
 	// serializes only submissions and completions of keys on this shard —
 	// the jobs mutex is taken briefly inside, never the other way around.
 	// NoCache requests bypass the index entirely: they never coalesce and
-	// their flights are never findable.
+	// their flights are never findable. Flights are keyed by the full
+	// request Key (trial bound and precision target included), not the
+	// TrialKey: every waiter on a flight gets the one settled estimate,
+	// and different precision tiers may resolve to different trial
+	// counts. Two tiers racing over the same trial stream therefore run
+	// separate flights and may duplicate trials the cache would have let
+	// the later one reuse — sequential tiers share via the cache; a
+	// per-TrialKey flight with per-waiter stop resolution is the known
+	// next step if tier races show up in real traffic.
 	jobs := s.jobs
 	var shard *singleflightShard
 	if !req.NoCache {
@@ -492,7 +670,7 @@ func (s *Service) submitJob(req EstimateRequest, colorings func() [][]uint8) (*j
 		// check above and taking the shard lock (its Put lands before it
 		// leaves the inflight index); re-check so the just-cached result
 		// is replayed instead of recomputed.
-		if est, ok := s.cache.Get(key); ok {
+		if est, ok := s.tryReplay(key.TrialKey(), q, req); ok {
 			shard.mu.Unlock()
 			h.Release()
 			s.jobs.addCached(j, est)
@@ -514,8 +692,8 @@ func (s *Service) submitJob(req EstimateRequest, colorings func() [][]uint8) (*j
 		if colorings != nil {
 			cs = colorings()
 		}
-		est, err := s.run(ctx, h, q, alg, req, key, cs, func(done, total int) {
-			fl.trialsDone.Add(1)
+		est, err := s.run(ctx, h, q, alg, req, key, cs, func(done int, mean, cv float64) {
+			fl.prog.Store(&flightProgress{done: done, mean: mean, cv: cv})
 		})
 		s.jobs.finishFlight(fl, est, err)
 		return err
@@ -679,6 +857,7 @@ type BatchRequest struct {
 	Priority  int               `json:"priority,omitempty"`
 	TimeoutMS int64             `json:"timeoutMs,omitempty"`
 	NoCache   bool              `json:"noCache,omitempty"`
+	Precision *PrecisionSpec    `json:"precision,omitempty"`
 	Queries   []EstimateRequest `json:"queries"`
 }
 
@@ -793,6 +972,9 @@ func (s *Service) EstimateBatch(ctx context.Context, breq BatchRequest) ([]Batch
 		if qreq.TimeoutMS <= 0 {
 			qreq.TimeoutMS = breq.TimeoutMS
 		}
+		if qreq.Precision == nil {
+			qreq.Precision = breq.Precision
+		}
 		qreq.NoCache = qreq.NoCache || breq.NoCache
 		// Resolve the query here (submitJob will again, cheaply) to name
 		// the item and to group colorings by (k, trials, seed) before
@@ -808,19 +990,27 @@ func (s *Service) EstimateBatch(ctx context.Context, breq BatchRequest) ([]Batch
 			continue
 		}
 		items[i].Query = q.Name
-		gk := batchGroupKey{k: q.K, trials: nreq.Trials, seed: nreq.Seed}
-		grp, seen := groups[gk]
-		if !seen {
-			grp = &colorGroup{}
-			groups[gk] = grp
-		}
-		k, trials, seed := q.K, nreq.Trials, nreq.Seed
-		j, err := s.submitJob(qreq, func() [][]uint8 {
-			if grp.uses.Add(1) > 1 {
-				s.coloringsShared.Add(1)
+		// Precision-targeted queries skip coloring sharing: their trial
+		// bound is the adaptive worst case, and predrawing MaxTrials
+		// colorings up front would cost more than the redraw it saves —
+		// the session draws lazily from its stream instead.
+		var colorings func() [][]uint8
+		if nreq.Precision == nil {
+			gk := batchGroupKey{k: q.K, trials: nreq.Trials, seed: nreq.Seed}
+			grp, seen := groups[gk]
+			if !seen {
+				grp = &colorGroup{}
+				groups[gk] = grp
 			}
-			return grp.colorings(n, k, trials, seed)
-		})
+			k, trials, seed := q.K, nreq.Trials, nreq.Seed
+			colorings = func() [][]uint8 {
+				if grp.uses.Add(1) > 1 {
+					s.coloringsShared.Add(1)
+				}
+				return grp.colorings(n, k, trials, seed)
+			}
+		}
+		j, err := s.submitJob(qreq, colorings)
 		if err != nil {
 			items[i] = BatchItem{Query: q.Name, Err: err}
 			continue
@@ -853,12 +1043,25 @@ type ShardsStats struct {
 	Cache    []CacheShardStats    `json:"cache"`
 }
 
+// PrecisionStats describe the adaptive stopping decisions: how many
+// precision-targeted requests the service resolved, how many stopped
+// below their MaxTrials bound, and how many trials those early stops
+// skipped — the compute the declarative API saved over fixed worst-case
+// trial counts. Trials reused from the cache are counted separately, as
+// cache.extended.
+type PrecisionStats struct {
+	Requests    uint64 `json:"requests"`
+	EarlyStops  uint64 `json:"earlyStops"`
+	TrialsSaved uint64 `json:"trialsSaved"`
+}
+
 // Stats is the service-wide observability snapshot.
 type Stats struct {
 	UptimeSeconds   float64        `json:"uptimeSeconds"`
 	Estimates       uint64         `json:"estimates"`
 	Batches         uint64         `json:"batches"`
 	ColoringsShared uint64         `json:"coloringsShared"`
+	Precision       PrecisionStats `json:"precision"`
 	Registry        RegistryStats  `json:"registry"`
 	Cache           CacheStats     `json:"cache"`
 	Scheduler       SchedulerStats `json:"scheduler"`
@@ -874,10 +1077,15 @@ func (s *Service) Stats() Stats {
 		Estimates:       s.estimates.Load(),
 		Batches:         s.batches.Load(),
 		ColoringsShared: s.coloringsShared.Load(),
-		Registry:        s.reg.Stats(),
-		Cache:           s.cache.Stats(),
-		Scheduler:       s.sched.Stats(),
-		Jobs:            s.jobs.stats(),
+		Precision: PrecisionStats{
+			Requests:    s.precisionReqs.Load(),
+			EarlyStops:  s.earlyStops.Load(),
+			TrialsSaved: s.trialsSaved.Load(),
+		},
+		Registry:  s.reg.Stats(),
+		Cache:     s.cache.Stats(),
+		Scheduler: s.sched.Stats(),
+		Jobs:      s.jobs.stats(),
 		Engine: EngineStats{
 			Backend:  s.opts.Backend,
 			Workers:  s.opts.DefaultRanks,

@@ -1,12 +1,11 @@
 package service
 
 import (
-	"fmt"
 	"sync"
 	"testing"
 	"time"
 
-	"repro/internal/coloring"
+	"repro/internal/core"
 )
 
 // specOnShard searches seeds for a powerlaw spec whose source key lands on
@@ -222,18 +221,18 @@ func TestCacheRebalanceFollowsDemand(t *testing.T) {
 	defer c.Close()
 
 	// Find keys all hashing to shard 2.
-	var keys []Key
+	var keys []TrialKey
 	for i := 0; len(keys) < 40; i++ {
-		k := Key{Graph: uint64(i), Query: "k3:6:5:3", Trials: 3, Seed: 1, Ranks: 4}
+		k := TrialKey{Graph: uint64(i), Query: "k3:6:5:3", Seed: 1, Ranks: 4}
 		if int(k.hash()%uint64(shards)) == 2 {
 			keys = append(keys, k)
 		}
 	}
 	for _, k := range keys {
-		c.Put(k, coloring.Estimate{Query: fmt.Sprintf("g%d", k.Graph), Matches: float64(k.Graph)})
+		c.Put(k, TrialRun{Counts: []uint64{k.Graph}, Stats: make([]core.Stats, 1)})
 	}
 	for _, k := range keys {
-		if _, ok := c.Get(k); !ok && c.shards[2].cap >= len(keys) {
+		if _, ok := c.Get(k, 0); !ok && c.shards[2].cap >= len(keys) {
 			t.Errorf("key %d missing despite capacity", k.Graph)
 		}
 	}
@@ -256,7 +255,7 @@ func TestCacheRebalanceFollowsDemand(t *testing.T) {
 	// The hot working set should now (after another fill) fit better than
 	// an even split would ever allow.
 	for _, k := range keys {
-		c.Put(k, coloring.Estimate{Query: fmt.Sprintf("g%d", k.Graph), Matches: float64(k.Graph)})
+		c.Put(k, TrialRun{Counts: []uint64{k.Graph}, Stats: make([]core.Stats, 1)})
 	}
 	if got := c.ShardStats()[2].Entries; got <= even {
 		t.Errorf("hot shard holds %d entries, want more than the even split %d", got, even)
@@ -272,10 +271,10 @@ func TestCacheRebalanceProtectsUnderCapacity(t *testing.T) {
 	c := NewCache(256, shards) // far more capacity than the test populates
 	defer c.Close()
 
-	keysOn := func(shard, n int) []Key {
-		var ks []Key
+	keysOn := func(shard, n int) []TrialKey {
+		var ks []TrialKey
 		for i := 0; len(ks) < n; i++ {
-			k := Key{Graph: uint64(i), Query: "k3:6:5:3", Trials: 3, Seed: 1, Ranks: 4}
+			k := TrialKey{Graph: uint64(i), Query: "k3:6:5:3", Seed: 1, Ranks: 4}
 			if int(k.hash()%uint64(shards)) == shard {
 				ks = append(ks, k)
 			}
@@ -284,15 +283,15 @@ func TestCacheRebalanceProtectsUnderCapacity(t *testing.T) {
 	}
 	resident := keysOn(0, 50)
 	for _, k := range resident {
-		c.Put(k, coloring.Estimate{Matches: float64(k.Graph)})
+		c.Put(k, TrialRun{Counts: []uint64{k.Graph}, Stats: make([]core.Stats, 1)})
 	}
 	// A full demand window on a different shard, then several rebalances:
 	// shard 0 shows zero demand every pass.
 	hot := keysOn(3, 10)
 	for round := 0; round < 5; round++ {
 		for _, k := range hot {
-			c.Put(k, coloring.Estimate{Matches: float64(k.Graph)})
-			c.Get(k)
+			c.Put(k, TrialRun{Counts: []uint64{k.Graph}, Stats: make([]core.Stats, 1)})
+			c.Get(k, 0)
 		}
 		c.rebalance()
 	}
@@ -302,7 +301,7 @@ func TestCacheRebalanceProtectsUnderCapacity(t *testing.T) {
 			st.Evictions, st.Entries, st.Capacity)
 	}
 	for _, k := range resident {
-		if _, ok := c.Get(k); !ok {
+		if _, ok := c.Get(k, 0); !ok {
 			t.Fatalf("resident key %d lost from quiet shard under global headroom", k.Graph)
 		}
 	}
@@ -319,10 +318,10 @@ func TestCacheRebalanceNeverZerosACap(t *testing.T) {
 	c := NewCache(64, shards)
 	defer c.Close()
 
-	keysOn := func(shard, n int) []Key {
-		var ks []Key
+	keysOn := func(shard, n int) []TrialKey {
+		var ks []TrialKey
 		for i := 0; len(ks) < n; i++ {
-			k := Key{Graph: uint64(i), Query: "k3:6:5:3", Trials: 3, Seed: 1, Ranks: 4}
+			k := TrialKey{Graph: uint64(i), Query: "k3:6:5:3", Seed: 1, Ranks: 4}
 			if int(k.hash()%uint64(shards)) == shard {
 				ks = append(ks, k)
 			}
@@ -331,15 +330,15 @@ func TestCacheRebalanceNeverZerosACap(t *testing.T) {
 	}
 	// Grow shard 0's allotment and fill it.
 	for _, k := range keysOn(0, 52) {
-		c.Put(k, coloring.Estimate{Matches: float64(k.Graph)})
-		c.Get(k)
+		c.Put(k, TrialRun{Counts: []uint64{k.Graph}, Stats: make([]core.Stats, 1)})
+		c.Get(k, 0)
 	}
 	c.rebalance()
 	// Shift all demand to shard 1; shards 2 and 3 are quiet and empty.
 	for round := 0; round < 3; round++ {
 		for _, k := range keysOn(1, 8) {
-			c.Put(k, coloring.Estimate{Matches: float64(k.Graph)})
-			c.Get(k)
+			c.Put(k, TrialRun{Counts: []uint64{k.Graph}, Stats: make([]core.Stats, 1)})
+			c.Get(k, 0)
 		}
 		c.rebalance()
 	}
@@ -356,7 +355,7 @@ func TestCacheRebalanceNeverZerosACap(t *testing.T) {
 	// Every shard must still accept a Put (completes, does not hang).
 	for s := 0; s < shards; s++ {
 		k := keysOn(s, 60)[59] // a fresh key for this shard
-		c.Put(k, coloring.Estimate{Matches: 1})
+		c.Put(k, TrialRun{Counts: []uint64{1}, Stats: make([]core.Stats, 1)})
 	}
 }
 

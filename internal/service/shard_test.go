@@ -23,12 +23,12 @@ func TestShardedCacheEquivalence(t *testing.T) {
 	defer c8.Close()
 
 	for i := 0; i < 48; i++ {
-		c1.Put(key(i), est(i))
-		c8.Put(key(i), est(i))
+		c1.Put(key(i), run(i, 1+i%4))
+		c8.Put(key(i), run(i, 1+i%4))
 	}
 	for i := 0; i < 48; i++ {
-		v1, ok1 := c1.Get(key(i))
-		v8, ok8 := c8.Get(key(i))
+		v1, ok1 := c1.Get(key(i), 0)
+		v8, ok8 := c8.Get(key(i), 0)
 		if ok1 != ok8 {
 			t.Fatalf("key %d: presence differs: 1-shard %v, 8-shard %v", i, ok1, ok8)
 		}

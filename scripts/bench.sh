@@ -2,13 +2,13 @@
 # Benchmark the sgserve stack end to end with cmd/sgload, and gate CI on
 # throughput regressions.
 #
-#   scripts/bench.sh           run, write BENCH_pr4.json, fail if the
+#   scripts/bench.sh           run, write BENCH_pr5.json, fail if the
 #                              serving-path (parallel backend) throughput
 #                              drops more than 25% below
 #                              scripts/bench_baseline.json
 #   scripts/bench.sh -update   run and overwrite the baseline instead
 #
-# Four runs with identical seeded workloads, merged into one BENCH_pr4.json
+# Five runs with identical seeded workloads, merged into one BENCH_pr5.json
 # at the repo root:
 #
 #   serving.{parallel,sim}  hit-ratio 0.98 — the cache/registry/jobs hot
@@ -21,6 +21,11 @@
 #                           projection tables directly and must come out
 #                           ≥ the sim backend, which pays the simulated
 #                           message exchange on every superstep.
+#   precision               mixed precision tiers (fixed-trial, ±10%, ±2%)
+#                           over shared hot seeds — the declarative API's
+#                           economy: adaptive early stops (trialsSaved)
+#                           and trial-granular cache extensions
+#                           (cache.extended) must both be nonzero.
 #
 # The server runs under a pinned GOMAXPROCS so runs are comparable across
 # machines with different core counts; override via BENCH_* env vars. On
@@ -37,7 +42,7 @@ CONC="${BENCH_CONCURRENCY:-32}"
 SOLVER_CONC="${BENCH_SOLVER_CONCURRENCY:-8}"
 SRV_GOMAXPROCS="${BENCH_SERVER_GOMAXPROCS:-4}"
 SRV_WORKERS="${BENCH_SERVER_WORKERS:-4}"
-OUT="BENCH_pr4.json"
+OUT="BENCH_pr5.json"
 BASELINE="scripts/bench_baseline.json"
 # Threshold: fail when serving throughput < 75% of baseline. Generous on
 # purpose — shared runners are noisy; this catches structural regressions
@@ -53,8 +58,9 @@ cleanup() {
 }
 trap cleanup EXIT
 
-run_one() { # backend label outfile conc hitratio
+run_one() { # backend label outfile conc hitratio [extra sgload flags...]
   local backend="$1" label="$2" outfile="$3" conc="$4" hitratio="$5"
+  shift 5
   local addrfile
   addrfile=$(mktemp -u)
   GOMAXPROCS="$SRV_GOMAXPROCS" /tmp/sgserve -addr 127.0.0.1:0 -addr-file "$addrfile" \
@@ -67,7 +73,7 @@ run_one() { # backend label outfile conc hitratio
   fi
   /tmp/sgload -addr "$(cat "$addrfile")" -c "$conc" -duration "$DUR" -warmup "$WARMUP" \
     -graphs 4 -graph-n 1000 -queries path3,cycle4 -hot 8 -hit-ratio "$hitratio" -seed 1 \
-    -backend "$backend" -label "$label" -out "$outfile"
+    -backend "$backend" -label "$label" -out "$outfile" "$@"
   kill "$SERVER_PID" 2>/dev/null || true
   wait "$SERVER_PID" 2>/dev/null || true
   SERVER_PID=""
@@ -78,25 +84,42 @@ run_one parallel serving-parallel /tmp/bench_serving_parallel.json "$CONC" 0.98
 run_one sim      serving-sim      /tmp/bench_serving_sim.json      "$CONC" 0.98
 run_one parallel solver-parallel  /tmp/bench_solver_parallel.json  "$SOLVER_CONC" 0
 run_one sim      solver-sim       /tmp/bench_solver_sim.json       "$SOLVER_CONC" 0
+# Precision mix: 40% fixed-trial, 30% loose (±10%), 30% tight (±2%)
+# requests over shared hot seeds, so tiers extend each other's cached
+# trials instead of recomputing them.
+run_one parallel precision-mix /tmp/bench_precision.json "$SOLVER_CONC" 0.9 \
+  -trials 3 -precision-mix "0:0.4,0.1:0.3,0.02:0.3" -max-trials 64
 
 jq -n --argjson conc "$CONC" --argjson sconc "$SOLVER_CONC" \
   --slurpfile sp /tmp/bench_serving_parallel.json --slurpfile ss /tmp/bench_serving_sim.json \
-  --slurpfile vp /tmp/bench_solver_parallel.json --slurpfile vs /tmp/bench_solver_sim.json '{
-    bench: "sgserve serving + solver paths per execution backend (closed-loop sgload)",
+  --slurpfile vp /tmp/bench_solver_parallel.json --slurpfile vs /tmp/bench_solver_sim.json \
+  --slurpfile pm /tmp/bench_precision.json '{
+    bench: "sgserve serving + solver paths per execution backend, plus precision-mix traffic (closed-loop sgload)",
     concurrency: $conc,
     solverConcurrency: $sconc,
     serving: { parallel: $sp[0], sim: $ss[0] },
-    solver:  { parallel: $vp[0], sim: $vs[0] }
+    solver:  { parallel: $vp[0], sim: $vs[0] },
+    precision: $pm[0]
   }' >"$OUT"
 
 summary() {
   jq -r '
     def row: "\(.label): \(.throughputRps|floor) req/s  p50 \(.latencyMs.p50Ms)ms  p99 \(.latencyMs.p99Ms)ms  jobs lockWait \(.server.jobs.lockWaitMs|floor)ms  sf lockWait \(.server.jobs.singleflight.lockWaitMs|floor)ms";
-    (.serving.parallel | row), (.serving.sim | row), (.solver.parallel | row), (.solver.sim | row)
+    (.serving.parallel | row), (.serving.sim | row), (.solver.parallel | row), (.solver.sim | row), (.precision | row),
+    "precision-mix: \(.precision.server.precision.requests) targeted requests, \(.precision.server.precision.earlyStops) early stops, \(.precision.trialsSaved) trials saved, \(.precision.server.cache.extended) cache extensions (rate \(.precision.extendedRate))"
   ' "$OUT"
 }
 echo "bench: wrote $OUT"
 summary
+
+saved=$(jq -r '.precision.trialsSaved // 0' "$OUT")
+extended=$(jq -r '.precision.server.cache.extended // 0' "$OUT")
+if [ "$saved" -lt 1 ] || [ "$extended" -lt 1 ]; then
+  echo "FAIL: precision-mix run saved no compute (trialsSaved=$saved, cache.extended=$extended)" >&2
+  echo "      the adaptive stopping / trial-granular cache path is not engaging" >&2
+  exit 1
+fi
+echo "bench: precision mix saved $saved trials, $extended cache extensions"
 
 par=$(jq -r '.solver.parallel.throughputRps' "$OUT")
 sim=$(jq -r '.solver.sim.throughputRps' "$OUT")

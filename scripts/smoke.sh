@@ -3,12 +3,18 @@
 # async job, poll it to completion, and assert the estimate matches the
 # golden value (enron stand-in at scale 512 seed 1, glet1, 3 trials,
 # seed 7 — deterministic by construction). Also asserts the async result
-# body is byte-identical to the synchronous /v1/estimate body, and that
-# DELETE cancels a long-running job. Requires curl and jq.
+# body is byte-identical to the synchronous /v1/estimate body, that a
+# precision-targeted job stops at its golden trial count while reusing the
+# 3-trial job's cached trials (the counts prefix must replay bit-identical),
+# and that DELETE cancels a long-running job. Requires curl and jq.
 set -euo pipefail
 
 GOLDEN_MATCHES="120868.05555555558"
 GOLDEN_COUNTS="[4418,8064,1442]"
+# Adaptive golden: same graph/query/seed with a ±50% @ 90% target stops at
+# 4 trials; its first 3 counts are exactly the fixed-trial goldens above.
+GOLDEN_PREC_TRIALS="4"
+GOLDEN_PREC_MATCHES="136992.18750000003"
 
 cd "$(dirname "$0")/.."
 go build -o /tmp/sgserve ./cmd/sgserve
@@ -68,6 +74,36 @@ if [ "$async_body" != "$sync_body" ]; then
   exit 1
 fi
 echo "sync /v1/estimate body identical to async result"
+
+# Precision-targeted job: declares ±50% at 90% confidence instead of a
+# trial count. Deterministic stop at the golden trial count, and the first
+# three trials must be the cached ones from the fixed-trial job above
+# (trial-granular cache extension, not a recompute).
+preq='{"graph":"enron","query":"glet1","seed":7,"precision":{"relErr":0.5,"confidence":0.9,"maxTrials":64}}'
+pbody=$(curl -fsS "$BASE/v1/estimate" -d "$preq")
+ptrials=$(jq -r .Trials <<<"$pbody")
+pmatches=$(jq -r .Matches <<<"$pbody")
+pprefix=$(jq -c '.Counts[0:3]' <<<"$pbody")
+if [ "$ptrials" != "$GOLDEN_PREC_TRIALS" ] || [ "$pmatches" != "$GOLDEN_PREC_MATCHES" ]; then
+  echo "FAIL: precision estimate drifted from golden:" >&2
+  echo "  trials  $ptrials (want $GOLDEN_PREC_TRIALS)" >&2
+  echo "  matches $pmatches (want $GOLDEN_PREC_MATCHES)" >&2
+  exit 1
+fi
+if [ "$pprefix" != "$GOLDEN_COUNTS" ]; then
+  echo "FAIL: precision run's count prefix $pprefix != cached trials $GOLDEN_COUNTS" >&2
+  exit 1
+fi
+echo "precision job stopped at $ptrials trials (golden), reusing the cached prefix"
+
+stats=$(curl -fsS "$BASE/v1/stats")
+extended=$(jq .cache.extended <<<"$stats")
+saved=$(jq .precision.trialsSaved <<<"$stats")
+if [ "$extended" -lt 1 ] || [ "$saved" -lt 1 ]; then
+  echo "FAIL: precision stats not recorded: cache.extended=$extended precision.trialsSaved=$saved" >&2
+  exit 1
+fi
+echo "stats: cache.extended=$extended, precision.trialsSaved=$saved"
 
 # Cancel a long job mid-run: DELETE must leave it canceled, not done.
 long=$(curl -fsS "$BASE/v1/jobs" -d '{"graph":"enron","query":"brain3","trials":500,"seed":1}' | jq -r .id)

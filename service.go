@@ -31,6 +31,14 @@ type (
 	JobState        = service.JobState
 	JobProgress     = service.JobProgress
 	JobsStats       = service.JobsStats
+	// PrecisionSpec is the wire form of a declared (relErr, confidence)
+	// accuracy target: EstimateRequest.Precision switches a request from
+	// "run Trials colorings" to "reach this precision", with previously
+	// cached trials reused and extended instead of recomputed.
+	PrecisionSpec = service.PrecisionSpec
+	// PrecisionServiceStats reports the adaptive stopping outcomes
+	// (requests, earlyStops, trialsSaved) under ServiceStats.Precision.
+	PrecisionServiceStats = service.PrecisionStats
 )
 
 // Job lifecycle states.

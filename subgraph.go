@@ -21,8 +21,10 @@ package subgraph
 
 import (
 	"context"
+	"fmt"
 	"io"
 	"math/rand"
+	"time"
 
 	"repro/internal/coloring"
 	"repro/internal/core"
@@ -147,6 +149,39 @@ func RandomColoring(g *Graph, q *Query, seed int64) []uint8 {
 	return coloring.Random(g.N(), q.K, rand.New(rand.NewSource(seed)))
 }
 
+// Precision declares a target accuracy for an estimate: stop adding
+// trials once the two-sided Confidence-level confidence interval of the
+// mean colorful count has half-width at most RelErr of the mean. The
+// zero value means "no target".
+type Precision = coloring.Precision
+
+// Spec declares the answer quality an estimation should reach, instead of
+// an imperative trial count: the estimator keeps running independent
+// colorings until the observed variance says the Precision target is met
+// (the per-coloring counts are i.i.d., so the needed trial count can be
+// decided while running), bounded by MinTrials/MaxTrials and optionally
+// by a wall-clock Budget.
+type Spec struct {
+	// Precision is the declared target; a zero RelErr disables the
+	// adaptive path and EstimateOptions.Trials applies as before.
+	Precision Precision
+	// MinTrials is the earliest trial the stopping rule may fire at
+	// (≤ 0 means 3; clamped to ≥ 2).
+	MinTrials int
+	// MaxTrials caps the adaptive run (≤ 0 means 1024).
+	MaxTrials int
+	// Budget, when positive, bounds the adaptive run's wall-clock time:
+	// once exceeded the estimate is snapshotted at the trials done so far
+	// (at least one). Budget stops are a time-based safety valve — unlike
+	// rule stops they are not reproducible across machines.
+	Budget time.Duration
+}
+
+// adaptive converts the spec to the coloring layer's stopping-rule bounds.
+func (sp Spec) adaptive() coloring.Adaptive {
+	return coloring.Adaptive{Precision: sp.Precision, MinTrials: sp.MinTrials, MaxTrials: sp.MaxTrials}
+}
+
 // EstimateOptions configures the multi-trial estimator.
 type EstimateOptions struct {
 	Algorithm Algorithm
@@ -160,12 +195,23 @@ type EstimateOptions struct {
 	// means 4), real worker goroutines under "parallel" (≤ 0 means
 	// GOMAXPROCS).
 	Workers int
-	Trials  int // independent colorings; ≤ 0 means 3
-	Seed    int64
-	Plan    *PlanTree
+	// Trials is the fixed number of independent colorings (≤ 0 means 3).
+	// It is the compatibility alias for a fixed-trial Spec: when
+	// Spec.Precision declares a target, Trials is ignored and the run is
+	// adaptive; otherwise results are bit-identical to the pre-Spec API.
+	Trials int
+	Seed   int64
+	Plan   *PlanTree
 	// Parallel runs up to this many trials concurrently; results are
 	// bit-identical to the serial run. ≤ 1 means serial.
 	Parallel int
+	// Spec, when its Precision is enabled, switches the run from "run
+	// Trials colorings" to "reach this precision": trials are added until
+	// the observed confidence interval meets the target (or Spec's
+	// bounds fire). An adaptive run that stops at T trials returns an
+	// estimate bit-identical to a fixed run with Trials: T at the same
+	// seed.
+	Spec Spec
 }
 
 // Estimate approximates the number of matches (and distinct subgraphs) of
@@ -181,7 +227,7 @@ func Estimate(g *Graph, q *Query, opts EstimateOptions) (Estimation, error) {
 // running every remaining trial to completion. Results of uncanceled runs
 // are bit-identical to Estimate.
 func EstimateContext(ctx context.Context, g *Graph, q *Query, opts EstimateOptions) (Estimation, error) {
-	return coloring.RunContext(ctx, g, q, coloring.Options{
+	copts := coloring.Options{
 		Trials:   opts.Trials,
 		Seed:     opts.Seed,
 		Parallel: opts.Parallel,
@@ -191,7 +237,87 @@ func EstimateContext(ctx context.Context, g *Graph, q *Query, opts EstimateOptio
 			Workers:   opts.Workers,
 			Plan:      opts.Plan,
 		},
+	}
+	if !opts.Spec.Precision.Enabled() {
+		return coloring.RunContext(ctx, g, q, copts)
+	}
+	sess, err := coloring.NewSession(g, q, copts)
+	if err != nil {
+		return Estimation{}, err
+	}
+	stop, err := sess.RunUntil(ctx, opts.Spec.adaptive(), opts.Parallel, opts.Spec.Budget)
+	if err != nil {
+		return Estimation{}, err
+	}
+	return sess.EstimateAt(stop), nil
+}
+
+// Session is an incremental estimation handle: Next runs one more
+// deterministic coloring trial from the seeded trial stream, Estimate
+// snapshots the running result (mean, CV, confidence interval via
+// Estimation.RelCI) at any point. A Session advanced T times yields an
+// Estimation bit-identical to Estimate with Trials: T and the same seed,
+// on either backend — incremental refinement never changes the answer a
+// batch run would give. Sessions are not safe for concurrent use.
+type Session struct {
+	inner *coloring.Session
+	spec  Spec
+	par   int
+}
+
+// NewSession starts an incremental estimation of q in g. Trials is
+// ignored (the caller decides when to stop — or RunToSpec applies
+// opts.Spec); all other options mean what they mean for Estimate.
+func NewSession(g *Graph, q *Query, opts EstimateOptions) (*Session, error) {
+	inner, err := coloring.NewSession(g, q, coloring.Options{
+		Seed: opts.Seed,
+		Core: core.Options{
+			Algorithm: opts.Algorithm,
+			Backend:   opts.Backend,
+			Workers:   opts.Workers,
+			Plan:      opts.Plan,
+		},
 	})
+	if err != nil {
+		return nil, err
+	}
+	return &Session{inner: inner, spec: opts.Spec, par: opts.Parallel}, nil
+}
+
+// Next runs one more coloring trial and returns its colorful count.
+func (s *Session) Next(ctx context.Context) (uint64, error) { return s.inner.Next(ctx) }
+
+// Trials reports how many trials the session has accumulated.
+func (s *Session) Trials() int { return s.inner.Trials() }
+
+// Estimate snapshots the estimate over every trial run so far.
+func (s *Session) Estimate() Estimation { return s.inner.Estimate() }
+
+// Met reports whether the accumulated trials genuinely satisfy the given
+// precision target: the observed confidence interval at p.Confidence has
+// half-width at most p.RelErr of the mean. Unlike the adaptive stopping
+// rule — which also fires at a MaxTrials cap so a bounded run always
+// resolves — Met never reports an unmet target as met.
+func (s *Session) Met(p Precision) bool {
+	est := s.inner.Estimate()
+	return est.Trials >= 2 && est.RelCI(p.Confidence) <= p.RelErr
+}
+
+// RunToSpec advances the session until the options' Spec is met (or its
+// bounds fire) and returns the estimate at the stopping trial. Trials
+// already accumulated count toward the target, so interleaving Next and
+// RunToSpec refines rather than restarts. A session whose Spec declares
+// no precision target errors out rather than silently running to the
+// default trial cap.
+func (s *Session) RunToSpec(ctx context.Context) (Estimation, error) {
+	if !s.spec.Precision.Enabled() {
+		return Estimation{}, fmt.Errorf("subgraph: RunToSpec on a session with no precision target (Spec.Precision.RelErr is 0)")
+	}
+	stop, err := s.inner.RunUntil(ctx, s.spec.adaptive(), s.par, s.spec.Budget)
+	if err != nil {
+		return Estimation{}, err
+	}
+	return s.inner.EstimateAt(stop), nil
 }
 
 // CountColorfulPerVertex counts colorful matches grouped by the data

@@ -1,6 +1,7 @@
 package subgraph
 
 import (
+	"context"
 	"reflect"
 	"strings"
 	"testing"
@@ -88,6 +89,103 @@ func TestFacadeHelpers(t *testing.T) {
 	rm := GenerateRMAT("rm", 8, 4, 3)
 	if rm.N() != 256 {
 		t.Fatalf("RMAT N = %d", rm.N())
+	}
+}
+
+// TestSessionMatchesEstimate: the public incremental handle advanced T
+// times equals Estimate with Trials: T bit-for-bit, on both backends
+// (modulo Stats.Steals, scheduling telemetry on parallel).
+func TestSessionMatchesEstimate(t *testing.T) {
+	g := GeneratePowerLaw("pl", 400, 1.6, 9)
+	q, err := QueryByName("glet1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, backend := range []string{"sim", "parallel"} {
+		opts := EstimateOptions{Seed: 4, Backend: backend, Workers: 3}
+		sess, err := NewSession(g, q, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for T := 1; T <= 5; T++ {
+			if _, err := sess.Next(context.Background()); err != nil {
+				t.Fatal(err)
+			}
+		}
+		opts.Trials = 5
+		batch, err := Estimate(g, q, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, want := sess.Estimate(), batch
+		got.Stats.Steals, want.Stats.Steals = 0, 0
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("%s: session differs from batch:\n%+v\n%+v", backend, got, want)
+		}
+	}
+}
+
+// TestEstimateSpecAdaptive: a declared-precision Estimate stops at some
+// T within the bounds and equals the fixed Trials: T run; the session's
+// Met reports the reached target.
+func TestEstimateSpecAdaptive(t *testing.T) {
+	g := GeneratePowerLaw("pl", 400, 1.6, 9)
+	q, err := QueryByName("glet1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := Precision{RelErr: 0.4, Confidence: 0.9}
+	est, err := Estimate(g, q, EstimateOptions{
+		Seed: 4, Workers: 2,
+		Spec: Spec{Precision: target, MaxTrials: 64},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Trials < 2 || est.Trials > 64 {
+		t.Fatalf("adaptive trials = %d, want within [2,64]", est.Trials)
+	}
+	fixed, err := Estimate(g, q, EstimateOptions{Seed: 4, Workers: 2, Trials: est.Trials})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(est, fixed) {
+		t.Fatalf("adaptive estimate differs from fixed at T=%d:\n%+v\n%+v", est.Trials, est, fixed)
+	}
+	if est.Trials < 64 && est.RelCI(0.9) > 0.4 {
+		t.Errorf("early stop at %d trials but observed RelCI %.3f > target", est.Trials, est.RelCI(0.9))
+	}
+
+	sess, err := NewSession(g, q, EstimateOptions{Seed: 4, Workers: 2, Spec: Spec{Precision: target, MaxTrials: 64}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := sess.RunToSpec(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Trials != est.Trials {
+		t.Errorf("session RunToSpec stopped at %d, Estimate at %d", got.Trials, est.Trials)
+	}
+	if !sess.Met(target) {
+		t.Error("session does not report the reached target as met")
+	}
+
+	// Met must answer for the target alone — reaching the spec's trial
+	// cap with the target unmet must not read as met (unlike the
+	// stopping rule, which fires at the cap so bounded runs resolve).
+	capped, err := NewSession(g, q, EstimateOptions{Seed: 4, Workers: 2, Spec: Spec{Precision: target, MaxTrials: 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if _, err := capped.Next(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tight := Precision{RelErr: 1e-9, Confidence: 0.999}
+	if capped.Estimate().RelCI(0.999) > tight.RelErr && capped.Met(tight) {
+		t.Error("Met reported an unmet target as satisfied at the trial cap")
 	}
 }
 
