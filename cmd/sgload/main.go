@@ -21,6 +21,7 @@
 package main
 
 import (
+	"bufio"
 	"bytes"
 	"encoding/json"
 	"flag"
@@ -31,6 +32,7 @@ import (
 	"net/http"
 	"os"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -70,6 +72,14 @@ type config struct {
 type tier struct {
 	relErr float64
 	cum    float64
+}
+
+// name labels the tier in the per-tier latency breakdown.
+func (t tier) name() string {
+	if t.relErr <= 0 {
+		return "fixed"
+	}
+	return fmt.Sprintf("relErr=%g", t.relErr)
 }
 
 // parseMix turns "0:0.4,0.1:0.3,0.02:0.3" into cumulative tiers. Weights
@@ -157,15 +167,28 @@ type serverSide struct {
 		Backend  string `json:"backend"`
 		Workers  int    `json:"workers"`
 		Backends map[string]struct {
-			Runs      uint64 `json:"runs"`
-			Workers   int    `json:"workers"`
-			TotalLoad int64  `json:"totalLoad"`
-			MaxLoad   int64  `json:"maxLoad"`
-			Messages  int64  `json:"messages"`
-			Steals    int64  `json:"steals"`
+			Runs       uint64 `json:"runs"`
+			Workers    int    `json:"workers"`
+			TotalLoad  int64  `json:"totalLoad"`
+			MaxLoad    int64  `json:"maxLoad"`
+			Messages   int64  `json:"messages"`
+			Steals     int64  `json:"steals"`
+			Supersteps int64  `json:"supersteps"`
 		} `json:"backends"`
 	} `json:"engine"`
 	Estimates uint64 `json:"estimates"`
+}
+
+// metricsCheck cross-checks the server's own request accounting against
+// the client's: the delta of subgraph_requests_total{endpoint="/v1/estimate"}
+// across the measured window (scraped from /metrics before and after)
+// must equal the requests this process actually issued. A mismatch means
+// either the exposition or the load loop is miscounting — both are bugs
+// worth failing a benchmark read over.
+type metricsCheck struct {
+	ServerRequests uint64 `json:"serverRequests"`
+	ClientRequests uint64 `json:"clientRequests"`
+	Match          bool   `json:"match"`
 }
 
 // report is the machine-readable output: everything scripts/bench.sh and
@@ -189,6 +212,14 @@ type report struct {
 	TrialsSaved  uint64     `json:"trialsSaved,omitempty"`
 	ExtendedRate float64    `json:"extendedRate,omitempty"`
 	Server       serverSide `json:"server"`
+	// LatencyByTier breaks the client-observed latency out per precision
+	// tier of the mix ("fixed" for fixed-trial requests): the tiers share
+	// one trial cache, so their relative percentiles show what a tight
+	// accuracy target costs over a loose one.
+	LatencyByTier map[string]latencySummary `json:"latencyByTierMs,omitempty"`
+	// Metrics is the server-vs-client request-count cross-check scraped
+	// from /metrics (nil when the scrape failed).
+	Metrics *metricsCheck `json:"metricsCheck,omitempty"`
 }
 
 // worker is one closed-loop client: it owns a private RNG (derived from
@@ -204,6 +235,7 @@ type worker struct {
 	hot       []int64
 	tiers     []tier // precision mix; empty = fixed-trial requests only
 	durations []time.Duration
+	tierDur   map[string][]time.Duration // per-tier latency (mix runs only)
 
 	requests uint64
 	errors   uint64
@@ -232,6 +264,7 @@ func (w *worker) run(deadline time.Time, record bool) {
 		if w.cfg.Backend != "" {
 			req["backend"] = w.cfg.Backend
 		}
+		tierName := ""
 		if len(w.tiers) > 0 {
 			// Draw this request's precision tier. Tiers share graph, query,
 			// and seed streams, so a tight tier extends the trials a loose
@@ -244,6 +277,7 @@ func (w *worker) run(deadline time.Time, record bool) {
 					break
 				}
 			}
+			tierName = picked.name()
 			if picked.relErr > 0 {
 				prec := map[string]any{"relErr": picked.relErr}
 				if w.cfg.Confidence > 0 {
@@ -277,6 +311,12 @@ func (w *worker) run(deadline time.Time, record bool) {
 			w.errors++
 		} else {
 			w.durations = append(w.durations, elapsed)
+			if tierName != "" {
+				if w.tierDur == nil {
+					w.tierDur = make(map[string][]time.Duration)
+				}
+				w.tierDur[tierName] = append(w.tierDur[tierName], elapsed)
+			}
 			if resp.Header.Get("X-Cache") == "HIT" {
 				w.hits++
 			} else {
@@ -402,11 +442,29 @@ func main() {
 		log.Printf("sgload: warming up for %s", warmup)
 		runPhase(*warmup, false)
 	}
+	// Scrape /metrics at the two quiet points bracketing the measured
+	// window (workers quiesced, nothing in flight), so the server-side
+	// request-count delta is attributable to exactly the measured phase.
+	before, beforeErr := scrapeEstimateRequests(client, base)
 	log.Printf("sgload: measuring %d workers for %s against %s", cfg.Workers, duration, cfg.Addr)
 	measured := runPhase(*duration, true)
+	after, afterErr := scrapeEstimateRequests(client, base)
 
 	rep := summarize(&cfg, workers, measured)
 	rep.Server = fetchServerStats(client, base)
+	if beforeErr != nil || afterErr != nil {
+		log.Printf("sgload: metrics scrape failed (before: %v, after: %v) — skipping cross-check", beforeErr, afterErr)
+	} else {
+		rep.Metrics = &metricsCheck{
+			ServerRequests: after - before,
+			ClientRequests: rep.Requests,
+			Match:          after-before == rep.Requests,
+		}
+		if !rep.Metrics.Match {
+			log.Printf("sgload: WARNING: server counted %d /v1/estimate requests in the measured window, client issued %d",
+				rep.Metrics.ServerRequests, rep.Metrics.ClientRequests)
+		}
+	}
 	if rep.Server.Jobs.Submitted > 0 {
 		rep.CoalesceRate = float64(rep.Server.Jobs.Coalesced) / float64(rep.Server.Jobs.Submitted)
 	}
@@ -457,15 +515,44 @@ func waitHealthy(client *http.Client, base string) {
 	log.Fatalf("sgload: server at %s never became healthy", base)
 }
 
+// summarizeDurations sorts (in place) and rolls one latency population up
+// into mean/p50/p95/p99/max milliseconds.
+func summarizeDurations(all []time.Duration) latencySummary {
+	if len(all) == 0 {
+		return latencySummary{}
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	var sum time.Duration
+	for _, d := range all {
+		sum += d
+	}
+	ms := func(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
+	quantile := func(q float64) time.Duration {
+		i := int(q * float64(len(all)-1))
+		return all[i]
+	}
+	return latencySummary{
+		MeanMS: ms(sum / time.Duration(len(all))),
+		P50MS:  ms(quantile(0.50)),
+		P95MS:  ms(quantile(0.95)),
+		P99MS:  ms(quantile(0.99)),
+		MaxMS:  ms(all[len(all)-1]),
+	}
+}
+
 func summarize(cfg *config, workers []*worker, measured time.Duration) report {
 	rep := report{Label: cfg.Label, Config: *cfg, DurationSec: measured.Seconds()}
 	var all []time.Duration
+	byTier := make(map[string][]time.Duration)
 	for _, w := range workers {
 		rep.Requests += w.requests
 		rep.Errors += w.errors
 		rep.CacheHits += w.hits
 		rep.CacheMisses += w.misses
 		all = append(all, w.durations...)
+		for name, ds := range w.tierDur {
+			byTier[name] = append(byTier[name], ds...)
+		}
 	}
 	if rep.DurationSec > 0 {
 		rep.ThroughputRPS = float64(rep.Requests-rep.Errors) / rep.DurationSec
@@ -473,26 +560,58 @@ func summarize(cfg *config, workers []*worker, measured time.Duration) report {
 	if n := rep.CacheHits + rep.CacheMisses; n > 0 {
 		rep.CacheHitRate = float64(rep.CacheHits) / float64(n)
 	}
-	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
-	if len(all) > 0 {
-		var sum time.Duration
-		for _, d := range all {
-			sum += d
-		}
-		ms := func(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
-		quantile := func(q float64) time.Duration {
-			i := int(q * float64(len(all)-1))
-			return all[i]
-		}
-		rep.Latency = latencySummary{
-			MeanMS: ms(sum / time.Duration(len(all))),
-			P50MS:  ms(quantile(0.50)),
-			P95MS:  ms(quantile(0.95)),
-			P99MS:  ms(quantile(0.99)),
-			MaxMS:  ms(all[len(all)-1]),
+	rep.Latency = summarizeDurations(all)
+	if len(byTier) > 0 {
+		rep.LatencyByTier = make(map[string]latencySummary, len(byTier))
+		for name, ds := range byTier {
+			rep.LatencyByTier[name] = summarizeDurations(ds)
 		}
 	}
 	return rep
+}
+
+// scrapeEstimateRequests fetches /metrics and sums the
+// subgraph_requests_total series whose endpoint label is /v1/estimate,
+// across all status codes. Counter values are non-negative integers
+// rendered as floats, so ParseFloat + uint64 truncation is exact. A
+// missing series reads as 0 — legitimate before the first estimate
+// request (families are created lazily); a series missing after the run
+// shows up as a Match failure instead.
+func scrapeEstimateRequests(client *http.Client, base string) (uint64, error) {
+	resp, err := client.Get(base + "/metrics")
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return 0, fmt.Errorf("GET /metrics: %s", resp.Status)
+	}
+	var total float64
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		rest, ok := strings.CutPrefix(line, "subgraph_requests_total{")
+		if !ok {
+			continue
+		}
+		end := strings.IndexByte(rest, '}')
+		if end < 0 {
+			return 0, fmt.Errorf("unterminated label block in %q", line)
+		}
+		if !strings.Contains(rest[:end], `endpoint="/v1/estimate"`) {
+			continue
+		}
+		v, err := strconv.ParseFloat(strings.TrimSpace(rest[end+1:]), 64)
+		if err != nil {
+			return 0, fmt.Errorf("bad sample value in %q: %v", line, err)
+		}
+		total += v
+	}
+	if err := sc.Err(); err != nil {
+		return 0, err
+	}
+	return uint64(total), nil
 }
 
 // fetchServerStats embeds the server's own view of the run; the coalesce

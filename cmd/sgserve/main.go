@@ -22,6 +22,16 @@
 //	curl -s localhost:8080/v1/jobs/j1/result
 //	curl -s -X DELETE localhost:8080/v1/jobs/j1
 //
+// Observability: GET /metrics serves Prometheus text-format exposition
+// (request/trial/phase latency histograms plus every /v1/stats counter),
+// GET /v1/jobs/{id}/trace returns one job's phase timeline, -log-level
+// debug enables per-request access logs, and -pprof-addr serves
+// net/http/pprof on a separate listener (kept off the API port so
+// profiling endpoints are never exposed to API clients by accident):
+//
+//	sgserve -addr :8080 -pprof-addr 127.0.0.1:6060 -log-level debug
+//	go tool pprof http://127.0.0.1:6060/debug/pprof/profile?seconds=10
+//
 // SIGINT/SIGTERM shut down gracefully: in-flight requests finish, the
 // worker pool drains, then the listener closes.
 package main
@@ -30,8 +40,10 @@ import (
 	"context"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -43,33 +55,47 @@ import (
 
 func main() {
 	var (
-		addr     = flag.String("addr", ":8080", "listen address (port 0 picks a free port; see -addr-file)")
-		addrFile = flag.String("addr-file", "", "write the actually bound address to this file once listening (for scripts using -addr :0)")
-		workers  = flag.Int("workers", 0, "estimation worker goroutines (0 = NumCPU)")
-		queue    = flag.Int("queue", 1024, "max queued jobs before shedding load")
-		cacheCap = flag.Int("cache", 4096, "result cache capacity (entries)")
-		shards   = flag.Int("shards", 0, "registry/cache shard count (0 = 2×NumCPU clamped to [8,32]; 1 = unsharded)")
-		budgetMB = flag.Int64("graph-budget-mb", 1024, "graph registry memory budget (MiB)")
-		trials   = flag.Int("trials", 3, "default trials per estimate")
-		maxTr    = flag.Int("max-trials", 1024, "reject requests asking for more trials than this")
-		maxRk    = flag.Int("max-ranks", 256, "reject requests asking for more engine ranks/workers than this")
-		ranks    = flag.Int("ranks", 4, "default engine ranks (sim) or workers (parallel) per estimate")
-		backend  = flag.String("backend", "", "default execution backend: sim (paper's simulated engine) or parallel (shared-memory); empty = $SUBGRAPH_BACKEND or sim")
-		timeout  = flag.Duration("timeout", 0, "default per-job deadline (0 = none)")
-		jobTTL   = flag.Duration("job-ttl", 10*time.Minute, "how long finished jobs stay fetchable via /v1/jobs")
-		maxJobs  = flag.Int("max-jobs", 4096, "max finished jobs retained before the oldest are dropped")
-		grace    = flag.Duration("grace", 10*time.Second, "graceful shutdown grace period")
-		graphDir = flag.String("graph-dir", "", "allow loading edge-list graphs from this directory (empty = path loading disabled)")
-		preload  = flag.String("preload", "", "comma-separated stand-in graphs to register at startup")
-		scale    = flag.Int("scale", 512, "stand-in size divisor for -preload")
-		seed     = flag.Int64("seed", 1, "generator seed for -preload")
+		addr      = flag.String("addr", ":8080", "listen address (port 0 picks a free port; see -addr-file)")
+		addrFile  = flag.String("addr-file", "", "write the actually bound address to this file once listening (for scripts using -addr :0)")
+		workers   = flag.Int("workers", 0, "estimation worker goroutines (0 = NumCPU)")
+		queue     = flag.Int("queue", 1024, "max queued jobs before shedding load")
+		cacheCap  = flag.Int("cache", 4096, "result cache capacity (entries)")
+		shards    = flag.Int("shards", 0, "registry/cache shard count (0 = 2×NumCPU clamped to [8,32]; 1 = unsharded)")
+		budgetMB  = flag.Int64("graph-budget-mb", 1024, "graph registry memory budget (MiB)")
+		trials    = flag.Int("trials", 3, "default trials per estimate")
+		maxTr     = flag.Int("max-trials", 1024, "reject requests asking for more trials than this")
+		maxRk     = flag.Int("max-ranks", 256, "reject requests asking for more engine ranks/workers than this")
+		ranks     = flag.Int("ranks", 4, "default engine ranks (sim) or workers (parallel) per estimate")
+		backend   = flag.String("backend", "", "default execution backend: sim (paper's simulated engine) or parallel (shared-memory); empty = $SUBGRAPH_BACKEND or sim")
+		timeout   = flag.Duration("timeout", 0, "default per-job deadline (0 = none)")
+		jobTTL    = flag.Duration("job-ttl", 10*time.Minute, "how long finished jobs stay fetchable via /v1/jobs")
+		maxJobs   = flag.Int("max-jobs", 4096, "max finished jobs retained before the oldest are dropped")
+		grace     = flag.Duration("grace", 10*time.Second, "graceful shutdown grace period")
+		graphDir  = flag.String("graph-dir", "", "allow loading edge-list graphs from this directory (empty = path loading disabled)")
+		preload   = flag.String("preload", "", "comma-separated stand-in graphs to register at startup")
+		scale     = flag.Int("scale", 512, "stand-in size divisor for -preload")
+		seed      = flag.Int64("seed", 1, "generator seed for -preload")
+		logLevel  = flag.String("log-level", "info", "log level: debug (includes per-request access logs), info, warn, or error")
+		pprofAddr = flag.String("pprof-addr", "", "serve net/http/pprof on this separate address (empty = disabled)")
+		pprofFile = flag.String("pprof-addr-file", "", "write the actually bound pprof address to this file (for scripts using -pprof-addr 127.0.0.1:0)")
 	)
 	flag.Parse()
+
+	level, err := parseLevel(*logLevel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sgserve:", err)
+		os.Exit(1)
+	}
+	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
+	fatal := func(msg string, args ...any) {
+		logger.Error(msg, args...)
+		os.Exit(1)
+	}
 
 	// A bad -backend (or $SUBGRAPH_BACKEND) must kill the server here, not
 	// surface as a 400 on every request once traffic arrives.
 	if _, err := subgraph.CanonicalBackend(*backend); err != nil {
-		log.Fatalf("sgserve: -backend: %v", err)
+		fatal("bad -backend", "err", err)
 	}
 
 	svc := subgraph.NewService(subgraph.ServiceOptions{
@@ -87,6 +113,7 @@ func main() {
 		GraphDir:         *graphDir,
 		JobTTL:           *jobTTL,
 		MaxJobs:          *maxJobs,
+		Logger:           logger,
 	})
 
 	for _, name := range strings.Split(*preload, ",") {
@@ -96,33 +123,76 @@ func main() {
 		}
 		info, err := svc.AddGraph(subgraph.GraphSpec{Standin: name, Scale: *scale, Seed: *seed})
 		if err != nil {
-			log.Fatalf("sgserve: preload %s: %v", name, err)
+			fatal("preload failed", "graph", name, "err", err)
 		}
-		log.Printf("sgserve: preloaded %s as %s: %d nodes, %d edges", name, info.ID, info.Nodes, info.Edges)
+		logger.Info("preloaded graph", "name", name, "id", info.ID, "nodes", info.Nodes, "edges", info.Edges)
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	if *pprofAddr != "" {
+		pln, err := net.Listen("tcp", *pprofAddr)
+		if err != nil {
+			fatal("pprof listen failed", "addr", *pprofAddr, "err", err)
+		}
+		if *pprofFile != "" {
+			if err := os.WriteFile(*pprofFile, []byte(pln.Addr().String()+"\n"), 0o644); err != nil {
+				fatal("pprof-addr-file write failed", "path", *pprofFile, "err", err)
+			}
+		}
+		go servePprof(pln, logger)
+		logger.Info("pprof listening", "addr", pln.Addr().String())
+	}
+
 	// Bind before serving so ":0" resolves to a concrete port that can be
 	// logged and handed to scripts — shared CI runners cannot hardcode one.
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "sgserve:", err)
-		os.Exit(1)
+		fatal("listen failed", "addr", *addr, "err", err)
 	}
 	bound := ln.Addr().String()
 	if *addrFile != "" {
 		if err := os.WriteFile(*addrFile, []byte(bound+"\n"), 0o644); err != nil {
-			fmt.Fprintln(os.Stderr, "sgserve: addr-file:", err)
-			os.Exit(1)
+			fatal("addr-file write failed", "path", *addrFile, "err", err)
 		}
 	}
-	log.Printf("sgserve: listening on %s (%s)", bound, describe(*workers))
+	logger.Info("listening", "addr", bound, "workers", describe(*workers))
 	if err := svc.Serve(ctx, ln, *grace); err != nil {
-		fmt.Fprintln(os.Stderr, "sgserve:", err)
-		os.Exit(1)
+		fatal("serve failed", "err", err)
 	}
-	log.Printf("sgserve: shut down cleanly")
+	logger.Info("shut down cleanly")
+}
+
+func parseLevel(s string) (slog.Level, error) {
+	switch strings.ToLower(s) {
+	case "debug":
+		return slog.LevelDebug, nil
+	case "info", "":
+		return slog.LevelInfo, nil
+	case "warn":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	}
+	return 0, fmt.Errorf("bad -log-level %q (want debug, info, warn, or error)", s)
+}
+
+// servePprof runs the net/http/pprof handlers on their own mux and
+// listener. Registering explicitly (rather than importing for the
+// DefaultServeMux side effect) keeps the profiling surface off the API
+// handler entirely.
+func servePprof(ln net.Listener, logger *slog.Logger) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 10 * time.Second}
+	if err := srv.Serve(ln); err != nil {
+		logger.Warn("pprof server stopped", "err", err)
+	}
 }
 
 func describe(workers int) string {

@@ -11,9 +11,11 @@ import (
 	"math/rand"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/graph"
+	"repro/internal/obs"
 	"repro/internal/query"
 )
 
@@ -179,6 +181,7 @@ func RunWithContext(ctx context.Context, g *graph.Graph, q *query.Graph, colorin
 					mu.Unlock()
 					return
 				}
+				begin := time.Now()
 				cnt, st, err := core.CountColorfulContext(ctx, g, q, colorings[i], copts)
 				if err != nil {
 					mu.Lock()
@@ -188,6 +191,7 @@ func RunWithContext(ctx context.Context, g *graph.Graph, q *query.Graph, colorin
 					mu.Unlock()
 					return
 				}
+				obs.FromContext(ctx).Observe(TrialMeasurement, time.Since(begin))
 				counts[i] = cnt
 				stats[i] = st
 				if opts.Progress != nil {
@@ -215,6 +219,7 @@ func accumulate(dst *core.Stats, s core.Stats) {
 	dst.AvgLoad += s.AvgLoad
 	dst.Messages += s.Messages
 	dst.Steals += s.Steals
+	dst.Supersteps += s.Supersteps
 	dst.TableEntries += s.TableEntries
 }
 

@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/graph"
+	"repro/internal/obs"
 	"repro/internal/query"
 )
 
@@ -30,6 +31,14 @@ const (
 	DefaultMinTrials  = 3
 	DefaultMaxTrials  = 1024
 )
+
+// TrialMeasurement is the name under which each trial's wall time is
+// reported to a ctx-attached obs.Trace. It is an Observe (sink-only
+// measurement), not a span: a trial envelops every solver-phase span
+// recorded inside it, so adding it to the trace's phase totals would
+// double-count against the job's wall time — but the per-backend trial
+// latency histograms still want the distribution.
+const TrialMeasurement = "trial"
 
 // Precision declares a target accuracy: the estimate's two-sided
 // Confidence-level confidence interval (normal approximation over the
@@ -389,10 +398,12 @@ func (s *Session) Next(ctx context.Context) (uint64, error) {
 	}
 	i := len(s.counts)
 	colors := s.coloringAt(i)
+	begin := time.Now()
 	cnt, st, err := core.CountColorfulContext(ctx, s.g, s.q, colors, s.copts)
 	if err != nil {
 		return 0, fmt.Errorf("coloring: trial %d: %w", i, err)
 	}
+	obs.FromContext(ctx).Observe(TrialMeasurement, time.Since(begin))
 	s.counts = append(s.counts, cnt)
 	s.stats = append(s.stats, st)
 	s.land(cnt)
@@ -449,6 +460,7 @@ func (s *Session) ExtendTo(ctx context.Context, trials, parallel int) error {
 					errMu.Unlock()
 					return
 				}
+				begin := time.Now()
 				cnt, st, err := core.CountColorfulContext(ctx, s.g, s.q, colorings[j], s.copts)
 				if err != nil {
 					errMu.Lock()
@@ -458,6 +470,7 @@ func (s *Session) ExtendTo(ctx context.Context, trials, parallel int) error {
 					errMu.Unlock()
 					return
 				}
+				obs.FromContext(ctx).Observe(TrialMeasurement, time.Since(begin))
 				s.counts[start+j] = cnt
 				s.stats[start+j] = st
 				s.land(cnt)

@@ -21,6 +21,7 @@ import (
 	"repro/internal/decomp"
 	"repro/internal/engine"
 	"repro/internal/graph"
+	"repro/internal/obs"
 	"repro/internal/query"
 	"repro/internal/sig"
 )
@@ -81,9 +82,22 @@ type Stats struct {
 	TotalLoad    int64
 	Messages     int64 // simulated messages; always 0 for parallel
 	Steals       int64 // stolen partition tasks; always 0 for sim
+	Supersteps   int64 // supersteps executed; identical across backends
 	TableEntries int64 // total projection-table entries materialized
 	Loads        []int64
 }
+
+// Trace phase names. Every span the solver records wraps exactly one
+// backend superstep (Step, Deliver, or Run call), named for the phase
+// that issued it — so spans never nest, and a trace's per-phase totals
+// sum to at most the run's wall time.
+const (
+	PhasePathJoin      = "pathJoin"      // path builder: init/edge/node joins (§5.2 Figure 7)
+	PhaseCycleJoin     = "cycleJoin"     // joining a split's P+ and P− walks (Procedure 2)
+	PhaseLeafJoin      = "leafJoin"      // leaf-edge block projection onto the boundary node
+	PhaseTableMerge    = "tableMerge"    // regrouping a child table at its "from" owners (§7)
+	PhasePerVertexJoin = "perVertexJoin" // folding the root table into per-vertex counts
+)
 
 // CountColorful counts the colorful matches of q in g under the given
 // coloring (one color in [0, q.K) per data vertex). This is the inner
@@ -96,6 +110,11 @@ func CountColorful(g *graph.Graph, q *query.Graph, colors []uint8, opts Options)
 // worker loops poll ctx every cancelInterval operations, so a canceled or
 // deadline-expired run stops mid-block instead of finishing the count. A
 // stopped run returns ctx's error and no count.
+//
+// If an obs.Trace rides on ctx, the solver records one span per superstep
+// it executes, named for the phase that ran it (pathJoin, cycleJoin,
+// leafJoin, tableMerge, perVertexJoin) — counting itself stays
+// bit-identical with or without a trace attached.
 func CountColorfulContext(ctx context.Context, g *graph.Graph, q *query.Graph, colors []uint8, opts Options) (uint64, Stats, error) {
 	if ctx == nil {
 		ctx = context.Background()
@@ -120,6 +139,7 @@ func CountColorfulContext(ctx context.Context, g *graph.Graph, q *query.Graph, c
 	}
 	s := &solver{
 		ctx:     ctx,
+		tr:      obs.FromContext(ctx),
 		g:       g,
 		colors:  colors,
 		be:      be,
@@ -145,6 +165,7 @@ func (s *solver) stats() Stats {
 		TotalLoad:    total,
 		Messages:     s.be.Messages(),
 		Steals:       s.be.Steals(),
+		Supersteps:   s.be.Steps(),
 		TableEntries: s.entries,
 		Loads:        s.be.Loads(),
 	}
@@ -175,6 +196,7 @@ func validate(g *graph.Graph, q *query.Graph, colors []uint8, plan *decomp.Tree)
 // groupings of child tables used by joins.
 type solver struct {
 	ctx     context.Context
+	tr      *obs.Trace  // nil when the run carries no trace; all methods tolerate nil
 	stop    atomic.Bool // latched ctx cancellation, visible to every worker
 	g       *graph.Graph
 	colors  []uint8

@@ -90,6 +90,7 @@ func (s *solver) solveLeaf(b *decomp.Block) *engine.Sharded {
 	walk := s.buildPath(spec)
 	// Project (π(leaf), π(a), α) ↦ (π(a), α): local, entries live at owner(V).
 	out := engine.NewSharded(s.be)
+	defer s.tr.Start(PhaseLeafJoin)()
 	s.be.Run(func(w int) {
 		sh := out.Shard(w)
 		var load int64
@@ -259,6 +260,7 @@ func (s *solver) joinSplit(b *decomp.Block, sp split, plus, minus *engine.Sharde
 			partial[w] += sum
 		}
 	}
+	defer s.tr.Start(PhaseCycleJoin)()
 	if out != nil {
 		s.be.Step(out, produce)
 		return

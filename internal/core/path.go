@@ -73,6 +73,7 @@ func applyRecord(k *table.Key, record int, v uint32) {
 // Figure 4/6 Procedure 1 line 1) or the annotating child block's table.
 func (s *solver) initEdge(spec pathSpec, st pathStep) *engine.Sharded {
 	out := engine.NewSharded(s.be)
+	defer s.tr.Start(PhasePathJoin)()
 	if st.edgeAnn == nil {
 		s.be.Step(out, func(w int, emit func(int, engine.Msg)) {
 			lo, hi := s.be.Range(w)
@@ -134,6 +135,7 @@ func (s *solver) initEdge(spec pathSpec, st pathStep) *engine.Sharded {
 // (u,u,α), seeding a path that includes the start node's annotation.
 func (s *solver) lift(child *engine.Sharded) *engine.Sharded {
 	out := engine.NewSharded(s.be)
+	defer s.tr.Start(PhasePathJoin)()
 	s.be.Run(func(w int) {
 		sh := out.Shard(w)
 		child.Shard(w).Iter(func(k table.Key, c uint64) bool {
@@ -152,6 +154,7 @@ func (s *solver) lift(child *engine.Sharded) *engine.Sharded {
 func (s *solver) edgeJoin(cur *engine.Sharded, spec pathSpec, st pathStep) *engine.Sharded {
 	out := engine.NewSharded(s.be)
 	if st.edgeAnn == nil {
+		defer s.tr.Start(PhasePathJoin)()
 		s.be.Step(out, func(w int, emit func(int, engine.Msg)) {
 			var load int64
 			var poll int
@@ -178,7 +181,9 @@ func (s *solver) edgeJoin(cur *engine.Sharded, spec pathSpec, st pathStep) *engi
 		})
 		return s.track(out)
 	}
+	// groupBinary runs (and traces) its own superstep; span only ours.
 	grouped := s.groupBinary(st.edgeAnn, st.edgeFromFirst)
+	defer s.tr.Start(PhasePathJoin)()
 	s.be.Step(out, func(w int, emit func(int, engine.Msg)) {
 		var load int64
 		var poll int
@@ -213,6 +218,7 @@ func (s *solver) edgeJoin(cur *engine.Sharded, spec pathSpec, st pathStep) *engi
 func (s *solver) nodeJoin(cur *engine.Sharded, ann *decomp.Block) *engine.Sharded {
 	out := engine.NewSharded(s.be)
 	child := s.tables[ann]
+	defer s.tr.Start(PhasePathJoin)()
 	s.be.Run(func(w int) {
 		idx := make(map[uint32][]sigCount)
 		child.Shard(w).Iter(func(k table.Key, c uint64) bool {
@@ -274,6 +280,7 @@ func (s *solver) groupBinary(b *decomp.Block, fromFirst bool) []map[uint32][]toE
 	for i := range g {
 		g[i] = make(map[uint32][]toEntry)
 	}
+	defer s.tr.Start(PhaseTableMerge)()
 	s.be.Deliver(func(w int, emit func(int, engine.Msg)) {
 		var poll int
 		child.Shard(w).Iter(func(k table.Key, c uint64) bool {

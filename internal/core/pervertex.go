@@ -7,6 +7,7 @@ import (
 	"repro/internal/decomp"
 	"repro/internal/engine"
 	"repro/internal/graph"
+	"repro/internal/obs"
 	"repro/internal/query"
 	"repro/internal/table"
 )
@@ -25,6 +26,20 @@ import (
 // pass anchor = -1 to let the solver pick one. It returns the per-vertex
 // counts, the anchor actually used, and the engine stats.
 func CountColorfulPerVertex(g *graph.Graph, q *query.Graph, colors []uint8, anchor int, opts Options) ([]uint64, int, Stats, error) {
+	return CountColorfulPerVertexContext(context.Background(), g, q, colors, anchor, opts)
+}
+
+// CountColorfulPerVertexContext is CountColorfulPerVertex bounded by ctx,
+// with the same cancellation and tracing semantics as
+// CountColorfulContext: the solver polls ctx between (and inside) join
+// steps, and records a span per superstep if an obs.Trace rides on ctx.
+func CountColorfulPerVertexContext(ctx context.Context, g *graph.Graph, q *query.Graph, colors []uint8, anchor int, opts Options) ([]uint64, int, Stats, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, 0, Stats{}, err
+	}
 	plan := opts.Plan
 	if plan == nil {
 		var err error
@@ -49,7 +64,8 @@ func CountColorfulPerVertex(g *graph.Graph, q *query.Graph, colors []uint8, anch
 		return nil, 0, Stats{}, err
 	}
 	s := &solver{
-		ctx:     context.Background(),
+		ctx:     ctx,
+		tr:      obs.FromContext(ctx),
 		g:       g,
 		colors:  colors,
 		be:      be,
@@ -58,6 +74,9 @@ func CountColorfulPerVertex(g *graph.Graph, q *query.Graph, colors []uint8, anch
 		grouped: make(map[groupKey][]map[uint32][]toEntry),
 	}
 	per := s.runPerVertex(plan, anchor)
+	if err := ctx.Err(); err != nil {
+		return nil, 0, Stats{}, err
+	}
 	return per, anchor, s.stats(), nil
 }
 
@@ -117,10 +136,12 @@ func (s *solver) runPerVertex(plan *decomp.Tree, anchor int) []uint64 {
 			// singleton after the last leaf).
 			panic("core: leaf-edge root block")
 		}
+		end := s.tr.Start(PhasePerVertexJoin)
 		unary.Iter(func(k table.Key, c uint64) bool {
 			per[k.U] += c
 			return true
 		})
+		end()
 	}
 	return per
 }

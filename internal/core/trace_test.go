@@ -1,0 +1,83 @@
+package core
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/obs"
+	"repro/internal/query"
+)
+
+// TestTracePhaseCoverage runs queries chosen to exercise each solver
+// phase and checks the trace records at least one span for every phase
+// the decomposition visits — the contract GET /v1/jobs/{id}/trace builds
+// on. A path hits only pathJoin; a cycle adds the split join; a query
+// with pendant edges adds leaf projection and table regrouping.
+func TestTracePhaseCoverage(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	g := gen.ErdosRenyi("er", 40, 160, rng)
+	cases := []struct {
+		q      *query.Graph
+		phases []string
+	}{
+		{query.PathGraph(4), []string{PhasePathJoin}},
+		{query.Cycle(5), []string{PhasePathJoin, PhaseCycleJoin}},
+		// satellite: a cycle with a pendant tail — its leaf edges project
+		// through leafJoin and the child tables regroup through tableMerge.
+		{query.MustByName("satellite"), []string{PhasePathJoin, PhaseLeafJoin, PhaseTableMerge}},
+	}
+	for _, tc := range cases {
+		for _, backend := range []string{"sim", "parallel"} {
+			tr := obs.NewTrace(tc.q.Name)
+			ctx := obs.WithTrace(context.Background(), tr)
+			colors := randColors(g.N(), tc.q.K, rng)
+			if _, _, err := CountColorfulContext(ctx, g, tc.q, colors, Options{Backend: backend, Workers: 2}); err != nil {
+				t.Fatalf("%s/%s: %v", tc.q.Name, backend, err)
+			}
+			snap := tr.Snapshot()
+			for _, phase := range tc.phases {
+				if snap.Phases[phase].Count == 0 {
+					t.Errorf("%s/%s: phase %s has no spans (got %v)", tc.q.Name, backend, phase, snap.Phases)
+				}
+			}
+			if len(snap.Spans) == 0 {
+				t.Errorf("%s/%s: no spans recorded", tc.q.Name, backend)
+			}
+		}
+	}
+}
+
+// TestTracePerVertexJoin covers the per-vertex entry point's extra fold
+// phase, and that grouped counting is untraced-equal: the same coloring
+// with and without a trace attached yields identical counts.
+func TestTracePerVertexJoin(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	g := gen.ErdosRenyi("er", 30, 90, rng)
+	q := query.Cycle(4)
+	colors := randColors(g.N(), q.K, rng)
+
+	tr := obs.NewTrace("pv")
+	ctx := obs.WithTrace(context.Background(), tr)
+	traced, anchor, _, err := CountColorfulPerVertexContext(ctx, g, q, colors, 0, Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, anchor2, _, err := CountColorfulPerVertex(g, q, colors, 0, Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if anchor != anchor2 {
+		t.Fatalf("anchors differ: %d vs %d", anchor, anchor2)
+	}
+	for v := range traced {
+		if traced[v] != plain[v] {
+			t.Fatalf("tracing changed the per-vertex count at %d: %d vs %d", v, traced[v], plain[v])
+		}
+	}
+	snap := tr.Snapshot()
+	if snap.Phases[PhasePerVertexJoin].Count == 0 {
+		t.Errorf("perVertexJoin has no spans (got %v)", snap.Phases)
+	}
+}

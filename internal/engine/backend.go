@@ -71,6 +71,13 @@ type Backend interface {
 	// Steals is the number of partition tasks executed by a worker other
 	// than the partition's home worker; always 0 for sim.
 	Steals() int64
+	// Steps is the number of supersteps executed so far (Step and Deliver
+	// calls). The count is deterministic for a given plan — it depends only
+	// on the solver's phase structure, not on scheduling — and identical
+	// across backends, which makes it the natural x-axis for per-superstep
+	// telemetry (the paper's Figures 11–15) and a unit of work for the
+	// ROADMAP's cost model.
+	Steps() int64
 }
 
 // Canonical backend names.

@@ -28,6 +28,7 @@ type Cluster struct {
 	chunk int
 	loads []atomic.Int64
 	msgs  atomic.Int64
+	steps atomic.Int64
 }
 
 // NewCluster returns a cluster of p workers over n vertices. p is clamped
@@ -122,12 +123,16 @@ func (c *Cluster) Messages() int64 { return c.msgs.Load() }
 // block distribution, as on the paper's cluster).
 func (c *Cluster) Steals() int64 { return 0 }
 
-// ResetCounters clears load and message counters.
+// Steps returns the number of supersteps (Exchanges) run so far.
+func (c *Cluster) Steps() int64 { return c.steps.Load() }
+
+// ResetCounters clears load, message, and superstep counters.
 func (c *Cluster) ResetCounters() {
 	for i := range c.loads {
 		c.loads[i].Store(0)
 	}
 	c.msgs.Store(0)
+	c.steps.Store(0)
 }
 
 // Msg is one keyed count in flight between workers.
@@ -146,6 +151,7 @@ func (c *Cluster) Exchange(
 	produce func(w int, emit func(dst int, m Msg)),
 	consume func(w int, msgs []Msg),
 ) {
+	c.steps.Add(1)
 	out := make([][][]Msg, c.p)
 	c.Run(func(w int) {
 		bufs := make([][]Msg, c.p)

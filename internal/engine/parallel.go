@@ -34,6 +34,7 @@ type Parallel struct {
 	chunk   int
 	loads   []atomic.Int64 // per partition
 	steals  atomic.Int64
+	steps   atomic.Int64
 	locks   []paddedMutex // per partition, guards Step merges
 }
 
@@ -147,6 +148,7 @@ func (p *Parallel) Run(f func(w int)) {
 // out's shard. Nothing is buffered, counted, or re-delivered — this is
 // the backend the sim's message machinery exists to simulate.
 func (p *Parallel) Step(out *Sharded, produce func(w int, emit func(dst int, m Msg))) {
+	p.steps.Add(1)
 	if p.workers == 1 {
 		for w := 0; w < p.parts; w++ {
 			produce(w, func(dst int, m Msg) { out.shards[dst].Add(m.K, m.C) })
@@ -167,6 +169,7 @@ func (p *Parallel) Step(out *Sharded, produce func(w int, emit func(dst int, m M
 // the destination partition's lock — the same direct, bufferless delivery
 // as Step, with user code instead of a table merge at the receiving end.
 func (p *Parallel) Deliver(produce func(w int, emit func(dst int, m Msg)), consume func(dst int, m Msg)) {
+	p.steps.Add(1)
 	if p.workers == 1 {
 		for w := 0; w < p.parts; w++ {
 			produce(w, func(dst int, m Msg) { consume(dst, m) })
@@ -215,10 +218,17 @@ func (p *Parallel) Messages() int64 { return 0 }
 // their home worker.
 func (p *Parallel) Steals() int64 { return p.steals.Load() }
 
-// ResetCounters clears load and steal counters.
+// Steps returns the number of supersteps (Step and Deliver calls) run so
+// far. It matches the sim backend's count for the same plan: both
+// backends count one step per superstep call site, so the metric compares
+// runtimes without exposing their internals.
+func (p *Parallel) Steps() int64 { return p.steps.Load() }
+
+// ResetCounters clears load, steal, and superstep counters.
 func (p *Parallel) ResetCounters() {
 	for i := range p.loads {
 		p.loads[i].Store(0)
 	}
 	p.steals.Store(0)
+	p.steps.Store(0)
 }

@@ -1,0 +1,191 @@
+package obs
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Histograms stripe observations across this many shards. Observing
+// goroutines pick a shard via a pooled per-P hint and fall over to the
+// next shard on TryLock failure, so the hot path — a trial recording its
+// phase timings while dozens of siblings do the same — never blocks on a
+// shared mutex. Snapshot merges the shards; that is the only full sweep.
+var histogramShards = max(4, runtime.GOMAXPROCS(0))
+
+// shardHint is a goroutine's sticky starting shard. sync.Pool keeps
+// per-P free lists, so under steady load each P keeps getting its own
+// hint back and lands on its own shard — striping without runtime tricks.
+type shardHint struct{ n uint32 }
+
+var (
+	hintSeq  atomic.Uint32
+	hintPool = sync.Pool{New: func() any {
+		return &shardHint{n: hintSeq.Add(1)}
+	}}
+)
+
+// A Histogram counts observations into fixed buckets. Buckets are
+// cumulative only at exposition time; internally each shard holds plain
+// per-bucket counts plus a running sum and count so p-quantiles and means
+// can be estimated from a snapshot.
+type Histogram struct {
+	labels string
+	bounds []float64 // strictly increasing upper bounds (le, inclusive)
+	shards []histogramShard
+}
+
+// histogramShard is padded so adjacent shards' mutexes do not share a
+// cache line; the counts slices are separate heap allocations already.
+type histogramShard struct {
+	mu    sync.Mutex
+	count uint64
+	sum   float64
+	cnts  []uint64 // len(bounds)+1; last is the +Inf overflow bucket
+	_     [64]byte
+}
+
+func newHistogram(labelKey string, bounds []float64) *Histogram {
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("obs: histogram bounds not strictly increasing at index %d", i))
+		}
+	}
+	h := &Histogram{
+		labels: labelKey,
+		bounds: append([]float64(nil), bounds...),
+		shards: make([]histogramShard, histogramShards),
+	}
+	for i := range h.shards {
+		h.shards[i].cnts = make([]uint64, len(bounds)+1)
+	}
+	return h
+}
+
+// bucketIndex returns the first bucket whose upper bound is ≥ v
+// (Prometheus `le` semantics are inclusive), or the +Inf bucket.
+func (h *Histogram) bucketIndex(v float64) int {
+	// Linear scan beats binary search for the short bucket lists used
+	// here (≤ ~20), and most latency observations land in the low buckets.
+	for i, b := range h.bounds {
+		if v <= b {
+			return i
+		}
+	}
+	return len(h.bounds)
+}
+
+// Observe records one value. Concurrency-safe and designed to be cheap:
+// one pooled hint fetch, one TryLock (with a single fallover probe), and
+// a bucket increment.
+func (h *Histogram) Observe(v float64) {
+	idx := h.bucketIndex(v)
+	hint := hintPool.Get().(*shardHint)
+	s := &h.shards[int(hint.n)%len(h.shards)]
+	if !s.mu.TryLock() {
+		// Contended: migrate this hint to the next shard permanently, so
+		// colliding goroutines spread out instead of re-colliding.
+		hint.n++
+		s = &h.shards[int(hint.n)%len(h.shards)]
+		s.mu.Lock()
+	}
+	s.cnts[idx]++
+	s.count++
+	s.sum += v
+	s.mu.Unlock()
+	hintPool.Put(hint)
+}
+
+// Snapshot locks each shard in turn and merges them into one consistent
+// view. (Consistent per shard; a scrape racing an observation may or may
+// not include it, which is the usual Prometheus contract.)
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	snap := HistogramSnapshot{
+		Bounds: h.bounds,
+		Counts: make([]uint64, len(h.bounds)+1),
+	}
+	for i := range h.shards {
+		s := &h.shards[i]
+		s.mu.Lock()
+		for j, c := range s.cnts {
+			snap.Counts[j] += c
+		}
+		snap.Count += s.count
+		snap.Sum += s.sum
+		s.mu.Unlock()
+	}
+	return snap
+}
+
+// HistogramSnapshot is a merged, point-in-time view of a histogram.
+// Counts are per-bucket (not cumulative) and one longer than Bounds: the
+// final entry is the +Inf overflow bucket.
+type HistogramSnapshot struct {
+	Bounds []float64
+	Counts []uint64
+	Count  uint64
+	Sum    float64
+}
+
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1) by locating the bucket
+// holding the target rank and interpolating linearly inside it. The first
+// bucket interpolates from zero (observations here are non-negative
+// durations); ranks landing in the +Inf bucket clamp to the largest
+// finite bound, which understates the tail but never fabricates beyond
+// what the layout can resolve. Returns 0 for an empty histogram.
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 || len(s.Bounds) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
+	}
+	rank := q * float64(s.Count)
+	var cum float64
+	for i, c := range s.Counts {
+		prev := cum
+		cum += float64(c)
+		if cum < rank || c == 0 {
+			continue
+		}
+		if i >= len(s.Bounds) {
+			return s.Bounds[len(s.Bounds)-1]
+		}
+		lower := 0.0
+		if i > 0 {
+			lower = s.Bounds[i-1]
+		}
+		return lower + (s.Bounds[i]-lower)*(rank-prev)/float64(c)
+	}
+	return s.Bounds[len(s.Bounds)-1]
+}
+
+// Mean returns Sum/Count, or 0 when empty.
+func (s HistogramSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.Sum / float64(s.Count)
+}
+
+// ExponentialBuckets builds n upper bounds starting at start and growing
+// by factor, e.g. ExponentialBuckets(0.0001, 2, 17) spans 100µs…6.6s.
+func ExponentialBuckets(start, factor float64, n int) []float64 {
+	if start <= 0 || factor <= 1 || n < 1 {
+		panic("obs: ExponentialBuckets needs start > 0, factor > 1, n ≥ 1")
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = start
+		start *= factor
+	}
+	return out
+}
+
+// DefSecondsBuckets is the default latency layout: 100µs to ~6.6s in
+// doubling steps, which brackets everything from a cache hit on the
+// serving path to a 500-trial solver job on the bench graphs.
+func DefSecondsBuckets() []float64 { return ExponentialBuckets(0.0001, 2, 17) }

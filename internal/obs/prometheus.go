@@ -1,0 +1,103 @@
+package obs
+
+import (
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ExpositionContentType is the Content-Type for WritePrometheus output.
+const ExpositionContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// WritePrometheus renders every registered family in Prometheus text
+// exposition format (version 0.0.4): a # HELP and # TYPE header per
+// family, one sample line per series, and the _bucket/_sum/_count
+// expansion for histograms. Families appear in registration order and
+// series in first-creation order, so consecutive scrapes diff cleanly.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	families := append([]*family(nil), r.order...)
+	r.mu.Unlock()
+
+	var b strings.Builder
+	for _, f := range families {
+		b.Reset()
+		b.WriteString("# HELP ")
+		b.WriteString(f.name)
+		b.WriteByte(' ')
+		b.WriteString(escapeHelp(f.help))
+		b.WriteString("\n# TYPE ")
+		b.WriteString(f.name)
+		b.WriteByte(' ')
+		b.WriteString(f.kind.String())
+		b.WriteByte('\n')
+
+		f.mu.Lock()
+		keys := append([]string(nil), f.order...)
+		metrics := make([]any, len(keys))
+		for i, k := range keys {
+			metrics[i] = f.metrics[k]
+		}
+		f.mu.Unlock()
+
+		for i, m := range metrics {
+			switch v := m.(type) {
+			case *Counter:
+				writeSample(&b, f.name, "", keys[i], formatUint(v.Value()))
+			case *Gauge:
+				writeSample(&b, f.name, "", keys[i], formatFloat(v.Value()))
+			case *Histogram:
+				writeHistogram(&b, f.name, keys[i], v.Snapshot())
+			}
+		}
+		if _, err := io.WriteString(w, b.String()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeHistogram expands one series into cumulative le-buckets plus the
+// _sum and _count samples.
+func writeHistogram(b *strings.Builder, name, labelKey string, s HistogramSnapshot) {
+	var cum uint64
+	for i, c := range s.Counts {
+		cum += c
+		le := "+Inf"
+		if i < len(s.Bounds) {
+			le = formatFloat(s.Bounds[i])
+		}
+		writeSample(b, name, "_bucket", withLabel(labelKey, "le", le), formatUint(cum))
+	}
+	writeSample(b, name, "_sum", labelKey, formatFloat(s.Sum))
+	writeSample(b, name, "_count", labelKey, formatUint(s.Count))
+}
+
+func writeSample(b *strings.Builder, name, suffix, labelKey, value string) {
+	b.WriteString(name)
+	b.WriteString(suffix)
+	b.WriteString(labelKey)
+	b.WriteByte(' ')
+	b.WriteString(value)
+	b.WriteByte('\n')
+}
+
+// withLabel splices one extra label into an already-rendered label key.
+func withLabel(labelKey, name, value string) string {
+	extra := name + `="` + escapeLabelValue(value) + `"`
+	if labelKey == "" {
+		return "{" + extra + "}"
+	}
+	return strings.TrimSuffix(labelKey, "}") + "," + extra + "}"
+}
+
+// escapeHelp applies the help-text escapes (backslash and newline; quotes
+// are legal in help strings).
+func escapeHelp(h string) string {
+	h = strings.ReplaceAll(h, `\`, `\\`)
+	return strings.ReplaceAll(h, "\n", `\n`)
+}
+
+func formatUint(v uint64) string { return strconv.FormatUint(v, 10) }
+
+func formatFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }

@@ -1,0 +1,164 @@
+package obs
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// maxSpans caps the per-trace span timeline. A 500-trial job on a deep
+// decomposition would otherwise record tens of thousands of spans; past
+// the cap the timeline stops growing but the per-phase aggregates (count
+// and total duration) stay exact, so the trace endpoint's phase summary
+// is always trustworthy even when the span list is truncated.
+const maxSpans = 512
+
+// A Trace is the span timeline of one request or job. It is attached to
+// a context with WithTrace and recovered anywhere below with FromContext;
+// every method is safe on a nil receiver, so code paths without a trace
+// pay one nil check and nothing else. All methods are concurrency-safe —
+// parallel trial workers record into the same trace.
+type Trace struct {
+	id    string
+	start time.Time
+	sink  func(name string, seconds float64)
+
+	mu      sync.Mutex
+	spans   []Span
+	dropped int
+	phases  map[string]PhaseStats
+}
+
+// A Span is one timed phase occurrence, with Start relative to the
+// trace's creation so a timeline renders without absolute clocks.
+type Span struct {
+	Name  string        `json:"name"`
+	Start time.Duration `json:"-"`
+	Dur   time.Duration `json:"-"`
+}
+
+// PhaseStats aggregates every occurrence of one phase name.
+type PhaseStats struct {
+	Count uint64        `json:"count"`
+	Total time.Duration `json:"-"`
+}
+
+// NewTrace starts an empty trace identified by id (the request or job ID).
+func NewTrace(id string) *Trace {
+	return &Trace{id: id, start: time.Now(), phases: make(map[string]PhaseStats)}
+}
+
+// ID returns the trace's identifier ("" on nil).
+func (t *Trace) ID() string {
+	if t == nil {
+		return ""
+	}
+	return t.id
+}
+
+// SetSink installs a callback invoked (outside the trace lock) for every
+// recorded span and observation, with the phase name and duration in
+// seconds. The service uses it to feed per-phase and per-trial latency
+// histograms live, so /metrics reflects a job before it finishes. Must be
+// set before the trace is shared across goroutines.
+func (t *Trace) SetSink(fn func(name string, seconds float64)) {
+	if t != nil {
+		t.sink = fn
+	}
+}
+
+// Start opens a span and returns the closure that ends it:
+//
+//	defer tr.Start("pathJoin")()
+//
+// On a nil trace the returned closure is a no-op.
+func (t *Trace) Start(name string) func() {
+	if t == nil {
+		return func() {}
+	}
+	begin := time.Now()
+	return func() { t.Add(name, begin, time.Now()) }
+}
+
+// Add records one completed span with explicit endpoints.
+func (t *Trace) Add(name string, begin, end time.Time) {
+	if t == nil {
+		return
+	}
+	d := end.Sub(begin)
+	t.mu.Lock()
+	if len(t.spans) < maxSpans {
+		t.spans = append(t.spans, Span{Name: name, Start: begin.Sub(t.start), Dur: d})
+	} else {
+		t.dropped++
+	}
+	p := t.phases[name]
+	p.Count++
+	p.Total += d
+	t.phases[name] = p
+	sink := t.sink
+	t.mu.Unlock()
+	if sink != nil {
+		sink(name, d.Seconds())
+	}
+}
+
+// Observe reports a duration to the sink only — no span, no phase entry.
+// Used for measurements that envelop other spans (a whole trial wraps
+// every solver phase inside it): recording them as phases would make the
+// per-phase totals double-count against the job's wall time, but the
+// latency histograms still want them.
+func (t *Trace) Observe(name string, d time.Duration) {
+	if t == nil || t.sink == nil {
+		return
+	}
+	t.sink(name, d.Seconds())
+}
+
+// TraceSnapshot is a point-in-time copy of a trace.
+type TraceSnapshot struct {
+	ID      string
+	Start   time.Time
+	Spans   []Span
+	Dropped int
+	Phases  map[string]PhaseStats
+}
+
+// Snapshot copies the timeline and aggregates. Safe while recording
+// continues.
+func (t *Trace) Snapshot() TraceSnapshot {
+	if t == nil {
+		return TraceSnapshot{}
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	snap := TraceSnapshot{
+		ID:      t.id,
+		Start:   t.start,
+		Spans:   append([]Span(nil), t.spans...),
+		Dropped: t.dropped,
+		Phases:  make(map[string]PhaseStats, len(t.phases)),
+	}
+	for k, v := range t.phases {
+		snap.Phases[k] = v
+	}
+	return snap
+}
+
+type traceKey struct{}
+
+// WithTrace attaches t to the context. Attaching nil returns ctx
+// unchanged.
+func WithTrace(ctx context.Context, t *Trace) context.Context {
+	if t == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, traceKey{}, t)
+}
+
+// FromContext recovers the trace, or nil when none is attached (every
+// Trace method tolerates nil, so callers never need to branch).
+func FromContext(ctx context.Context) *Trace {
+	t, _ := ctx.Value(traceKey{}).(*Trace)
+	return t
+}

@@ -19,6 +19,10 @@ type EngineBackendStats struct {
 	MaxLoad   int64  `json:"maxLoad"`
 	Messages  int64  `json:"messages"`
 	Steals    int64  `json:"steals"`
+	// Supersteps counts executed engine supersteps — deterministic for a
+	// given plan and identical across backends, so it is the natural unit
+	// for the planned cost model (work per superstep, not per wall-second).
+	Supersteps int64 `json:"supersteps"`
 }
 
 // EngineStats is the /v1/stats "engine" section: which backend the
@@ -59,6 +63,7 @@ func (t *engineTracker) record(st core.Stats) {
 	}
 	b.Messages += st.Messages
 	b.Steals += st.Steals
+	b.Supersteps += st.Supersteps
 	t.mu.Unlock()
 }
 

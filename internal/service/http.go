@@ -7,16 +7,25 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"strconv"
+	"strings"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // Handler returns the service's HTTP API:
 //
 //	GET    /healthz             liveness probe
+//	GET    /metrics             Prometheus text-format exposition: request/trial/
+//	                            phase latency histograms recorded live, plus every
+//	                            /v1/stats counter bridged at scrape time
 //	GET    /v1/stats            counters of every layer (registry, cache, scheduler, jobs),
 //	                            plus a per-shard breakdown with lock-wait counters
-//	                            under "shards" and per-execution-backend engine
-//	                            counters under "engine"
+//	                            under "shards", per-execution-backend engine
+//	                            counters under "engine", and per-endpoint /
+//	                            per-backend latency quantiles under "http" and
+//	                            "trialLatency"
 //	POST   /v1/graphs           register a graph (GraphSpec JSON) → GraphInfo
 //	GET    /v1/graphs           list registered graphs
 //	GET    /v1/graphs/X         one graph by id or name
@@ -29,6 +38,9 @@ import (
 //	                            index, running mean, CV) pushed as the job runs,
 //	                            ending with one event named after the terminal
 //	                            state — no poll loop needed
+//	GET    /v1/jobs/{id}/trace  the job's recorded phase timeline: queue wait,
+//	                            cache lookup/store, and one span per solver
+//	                            superstep, with per-phase aggregates
 //	GET    /v1/jobs/{id}/result a finished job's estimate (?wait= supported)
 //	DELETE /v1/jobs/{id}        cancel a queued or running job
 //
@@ -47,6 +59,7 @@ import (
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.HandleFunc("POST /v1/graphs", s.handleAddGraph)
 	mux.HandleFunc("GET /v1/graphs", s.handleListGraphs)
@@ -57,9 +70,99 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs", s.handleListJobs)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleGetJob)
 	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleJobEvents)
+	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleJobTrace)
 	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleJobResult)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancelJob)
-	return mux
+	return s.instrument(mux)
+}
+
+// statusRecorder captures the response status for the instrumentation
+// middleware. It forwards Flush (the SSE stream needs the underlying
+// flusher) and exposes the wrapped writer via Unwrap for
+// http.ResponseController users.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusRecorder) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusRecorder) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+func (w *statusRecorder) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+func (w *statusRecorder) Unwrap() http.ResponseWriter { return w.ResponseWriter }
+
+// instrument wraps the API mux with per-request observability: a
+// monotonically increasing X-Request-ID response header, per-endpoint
+// request counters and latency histograms, and a structured access log
+// line at Debug level. The endpoint label is the mux's matched route
+// pattern (the Go 1.22 ServeMux writes it back onto the request during
+// ServeHTTP), never the raw URL — labels stay low-cardinality no matter
+// what paths clients probe.
+func (s *Service) instrument(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		begin := time.Now()
+		id := "r" + strconv.FormatUint(s.reqIDs.Add(1), 10)
+		w.Header().Set("X-Request-ID", id)
+		rec := &statusRecorder{ResponseWriter: w}
+		next.ServeHTTP(rec, r)
+		endpoint := r.Pattern
+		if i := strings.IndexByte(endpoint, ' '); i >= 0 {
+			endpoint = endpoint[i+1:] // drop the method: one label per route
+		}
+		if endpoint == "" {
+			endpoint = "unmatched"
+		}
+		code := rec.status
+		if code == 0 {
+			code = http.StatusOK
+		}
+		elapsed := time.Since(begin)
+		s.metrics.observeRequest(endpoint, code, elapsed.Seconds())
+		s.logger.Debug("http request",
+			"id", id,
+			"method", r.Method,
+			"path", r.URL.Path,
+			"endpoint", endpoint,
+			"status", code,
+			"elapsedMs", ms(elapsed),
+		)
+	})
+}
+
+// handleMetrics serves the Prometheus text-format exposition. The
+// live-recorded histograms are always current; the layers' cumulative
+// counters are bridged from the same snapshot /v1/stats would serve,
+// immediately before rendering.
+func (s *Service) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	s.metrics.bridge(s.Stats())
+	w.Header().Set("Content-Type", obs.ExpositionContentType)
+	s.metrics.reg.WritePrometheus(w) //nolint:errcheck // client gone; nothing to do
+}
+
+func (s *Service) handleJobTrace(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	info, err := s.JobTrace(id)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, info)
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

@@ -51,10 +51,16 @@ func (s *Service) handleJobEvents(w http.ResponseWriter, r *http.Request) {
 		if err != nil {
 			return false
 		}
+		// Time the write+flush pair: this is the per-event cost of the SSE
+		// fan-out, recorded straight into subgraph_sse_flush_seconds (not
+		// onto the job's trace — the stream can outlive the job, and its
+		// cost must not count against the job's wall time).
+		begin := time.Now()
 		if _, err := fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, data); err != nil {
 			return false // client gone; the deferred cleanup is the whole fallback
 		}
 		flusher.Flush()
+		s.metrics.sseFlush.Observe(time.Since(begin).Seconds())
 		return true
 	}
 	final := func() {

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/coloring"
+	"repro/internal/obs"
 )
 
 // ErrUnknownJob is returned when a request references a job id the
@@ -107,6 +108,9 @@ type flight struct {
 	jobs     []*job // attached waiters (guarded by jobManager.mu)
 	running  bool
 	finished bool
+	// tr is the flight's span timeline, shared by every attached job: one
+	// computation, one trace. Written once at flight creation.
+	tr *obs.Trace
 	// prog is the single source of per-trial progress: one snapshot per
 	// landed trial, published atomically so a reader never pairs trial
 	// N's count with trial N-1's statistics.
@@ -149,6 +153,11 @@ type job struct {
 	fl          *flight       // nil for cache-replayed jobs
 	done        chan struct{} // closed exactly once, at the terminal transition
 	timer       *time.Timer   // per-job deadline watchdog
+	// tr is the job's span timeline (the flight's shared trace for
+	// computed jobs, a minimal replay trace for cache hits). Written once
+	// before the job is published under the manager mutex; every Trace
+	// method is nil-safe, so pre-observability constructors need no guard.
+	tr *obs.Trace
 }
 
 // JobsStats are the job manager's observability counters. LockWait
@@ -295,11 +304,16 @@ func (m *jobManager) maybeSweepLocked(now time.Time) {
 	m.nextSweep = now.Add(m.sweepGap)
 }
 
-// attachLocked wires a job onto a flight as one more waiter.
+// attachLocked wires a job onto a flight as one more waiter. The flight's
+// trace replaces the job's own: a coalesced job reports the timeline of
+// the computation that actually serves it.
 func (m *jobManager) attachLocked(fl *flight, j *job) {
 	if len(fl.jobs) > 0 {
 		j.coalesced = true
 		m.coalesced++
+	}
+	if fl.tr != nil {
+		j.tr = fl.tr
 	}
 	j.fl = fl
 	fl.jobs = append(fl.jobs, j)

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"runtime"
@@ -15,6 +16,7 @@ import (
 	"repro/internal/coloring"
 	"repro/internal/core"
 	"repro/internal/engine"
+	"repro/internal/obs"
 	"repro/internal/query"
 )
 
@@ -80,6 +82,11 @@ type Options struct {
 	// oldest finished jobs are dropped even before their TTL (≤ 0 means
 	// 4096). Active jobs are never dropped.
 	MaxJobs int
+	// Logger receives the service's structured logs (per-request access
+	// lines at Debug, lifecycle events at Info). Nil means slog.Default(),
+	// which drops Debug — so access logging is opt-in via the handler's
+	// level, not a separate switch.
+	Logger *slog.Logger
 }
 
 func (o Options) withDefaults() Options {
@@ -129,13 +136,17 @@ func (o Options) withDefaults() Options {
 // path, so sync and async results are bit-identical and cache-keyed the
 // same way. All methods are safe for concurrent use.
 type Service struct {
-	opts   Options
-	reg    *Registry
-	cache  *Cache
-	sched  *Scheduler
-	jobs   *jobManager
-	engine *engineTracker
-	start  time.Time
+	opts    Options
+	reg     *Registry
+	cache   *Cache
+	sched   *Scheduler
+	jobs    *jobManager
+	engine  *engineTracker
+	metrics *metricsRecorder
+	logger  *slog.Logger
+	start   time.Time
+
+	reqIDs atomic.Uint64 // X-Request-ID sequence
 
 	estimates       atomic.Uint64 // estimations actually computed
 	batches         atomic.Uint64
@@ -149,14 +160,20 @@ type Service struct {
 // New starts a service. Close releases its workers.
 func New(opts Options) *Service {
 	opts = opts.withDefaults()
+	logger := opts.Logger
+	if logger == nil {
+		logger = slog.Default()
+	}
 	return &Service{
-		opts:   opts,
-		reg:    NewRegistry(opts.GraphBudgetBytes, opts.Shards),
-		cache:  NewCache(opts.CacheCapacity, opts.Shards),
-		sched:  NewScheduler(opts.Workers, opts.QueueDepth),
-		jobs:   newJobManager(opts.JobTTL, opts.MaxJobs, opts.Shards),
-		engine: newEngineTracker(),
-		start:  time.Now(),
+		opts:    opts,
+		reg:     NewRegistry(opts.GraphBudgetBytes, opts.Shards),
+		cache:   NewCache(opts.CacheCapacity, opts.Shards),
+		sched:   NewScheduler(opts.Workers, opts.QueueDepth),
+		jobs:    newJobManager(opts.JobTTL, opts.MaxJobs, opts.Shards),
+		engine:  newEngineTracker(),
+		metrics: newMetricsRecorder(),
+		logger:  logger,
+		start:   time.Now(),
 	}
 }
 
@@ -563,8 +580,12 @@ func (s *Service) run(ctx context.Context, h *Handle, q *query.Graph, alg core.A
 	if colorings != nil {
 		sess.Predraw(colorings)
 	}
+	tr := obs.FromContext(ctx)
 	if !req.NoCache {
-		if cached, ok := s.cache.Get(key.TrialKey(), req.Trials); ok {
+		end := tr.Start(spanCacheLookup)
+		cached, ok := s.cache.Get(key.TrialKey(), req.Trials)
+		end()
+		if ok {
 			if err := sess.Preload(cached.Counts, cached.Stats); err != nil {
 				return coloring.Estimate{}, err
 			}
@@ -587,7 +608,9 @@ func (s *Service) run(ctx context.Context, h *Handle, q *query.Graph, alg core.A
 		s.engine.record(sess.ComputedStats())
 	}
 	counts, stats := sess.Run()
+	end := tr.Start(spanCacheStore)
 	s.cache.Put(key.TrialKey(), TrialRun{Counts: counts, Stats: stats})
+	end()
 	s.notePrecision(req, used)
 	return est, nil
 }
@@ -627,8 +650,21 @@ func (s *Service) submitJob(req EstimateRequest, colorings func() [][]uint8) (*j
 	// The id is formatted here, before any path takes the jobs mutex, so
 	// the allocation stays off the global critical section.
 	s.jobs.assignID(j)
+	// Every job carries a trace from birth. Its sink feeds the aggregate
+	// latency histograms live, so /metrics sees a long job's supersteps
+	// while it runs; the timeline itself is served by /v1/jobs/{id}/trace.
+	// A job that attaches to an in-flight computation is re-pointed at the
+	// flight owner's trace below (one computation, one timeline).
+	tr := obs.NewTrace(j.id)
+	tr.SetSink(s.metrics.traceSink(req.Backend))
+	j.tr = tr
 	if !req.NoCache {
-		if est, ok := s.tryReplay(key.TrialKey(), q, req); ok {
+		// The replay attempt is the submit path's cache lookup; span it
+		// whether or not it answers, so a miss's cost is on the timeline.
+		begin := time.Now()
+		est, ok := s.tryReplay(key.TrialKey(), q, req)
+		tr.Add(spanCacheReplay, begin, time.Now())
+		if ok {
 			h.Release()
 			s.jobs.addCached(j, est)
 			return j, nil
@@ -670,7 +706,10 @@ func (s *Service) submitJob(req EstimateRequest, colorings func() [][]uint8) (*j
 		// check above and taking the shard lock (its Put lands before it
 		// leaves the inflight index); re-check so the just-cached result
 		// is replayed instead of recomputed.
-		if est, ok := s.tryReplay(key.TrialKey(), q, req); ok {
+		begin := time.Now()
+		est, ok := s.tryReplay(key.TrialKey(), q, req)
+		tr.Add(spanCacheReplay, begin, time.Now())
+		if ok {
 			shard.mu.Unlock()
 			h.Release()
 			s.jobs.addCached(j, est)
@@ -683,16 +722,20 @@ func (s *Service) submitJob(req EstimateRequest, colorings func() [][]uint8) (*j
 	// so the registry cannot evict the graph out from under a queued or
 	// running flight.
 	fctx, cancel := context.WithCancel(context.Background())
-	fl := &flight{key: key, cancel: cancel}
+	fl := &flight{key: key, cancel: cancel, tr: tr}
+	submitted := time.Now()
 	jobs.mu.Lock()
 	jobs.attachLocked(fl, j)
 	_, err = s.sched.SubmitJob(fctx, req.Priority, func(ctx context.Context) error {
 		s.jobs.flightStarted(fl)
+		// Queue wait: submission to worker pickup, the first section of
+		// every computed job's timeline.
+		tr.Add(spanQueueWait, submitted, time.Now())
 		var cs [][]uint8
 		if colorings != nil {
 			cs = colorings()
 		}
-		est, err := s.run(ctx, h, q, alg, req, key, cs, func(done int, mean, cv float64) {
+		est, err := s.run(obs.WithTrace(ctx, tr), h, q, alg, req, key, cs, func(done int, mean, cv float64) {
 			fl.prog.Store(&flightProgress{done: done, mean: mean, cv: cv})
 		})
 		s.jobs.finishFlight(fl, est, err)
@@ -1068,6 +1111,11 @@ type Stats struct {
 	Jobs            JobsStats      `json:"jobs"`
 	Engine          EngineStats    `json:"engine"`
 	Shards          ShardsStats    `json:"shards"`
+	// HTTP is per-endpoint request latency (count, mean, p50/p95/p99),
+	// summarized from the same histograms /metrics exposes in full.
+	HTTP map[string]LatencySummary `json:"http,omitempty"`
+	// TrialLatency is per-backend solve time of individual trials.
+	TrialLatency map[string]LatencySummary `json:"trialLatency,omitempty"`
 }
 
 // Stats returns the current counters of every layer.
@@ -1096,5 +1144,7 @@ func (s *Service) Stats() Stats {
 			Registry: s.reg.ShardStats(),
 			Cache:    s.cache.ShardStats(),
 		},
+		HTTP:         s.metrics.httpSummary(),
+		TrialLatency: s.metrics.trialSummary(),
 	}
 }

@@ -2,13 +2,13 @@
 # Benchmark the sgserve stack end to end with cmd/sgload, and gate CI on
 # throughput regressions.
 #
-#   scripts/bench.sh           run, write BENCH_pr5.json, fail if the
+#   scripts/bench.sh           run, write BENCH_pr6.json, fail if the
 #                              serving-path (parallel backend) throughput
 #                              drops more than 25% below
 #                              scripts/bench_baseline.json
 #   scripts/bench.sh -update   run and overwrite the baseline instead
 #
-# Five runs with identical seeded workloads, merged into one BENCH_pr5.json
+# Five runs with identical seeded workloads, merged into one BENCH_pr6.json
 # at the repo root:
 #
 #   serving.{parallel,sim}  hit-ratio 0.98 — the cache/registry/jobs hot
@@ -42,8 +42,11 @@ CONC="${BENCH_CONCURRENCY:-32}"
 SOLVER_CONC="${BENCH_SOLVER_CONCURRENCY:-8}"
 SRV_GOMAXPROCS="${BENCH_SERVER_GOMAXPROCS:-4}"
 SRV_WORKERS="${BENCH_SERVER_WORKERS:-4}"
-OUT="BENCH_pr5.json"
+OUT="BENCH_pr6.json"
 BASELINE="scripts/bench_baseline.json"
+# The solver-bound parallel run doubles as the profiling window: its CPU
+# profile lands here (CI uploads it as an artifact). Empty disables.
+PPROF_OUT="${BENCH_PPROF_OUT:-bench_cpu.pprof}"
 # Threshold: fail when serving throughput < 75% of baseline. Generous on
 # purpose — shared runners are noisy; this catches structural regressions
 # (an accidental global lock, an O(n) scan on the hot path), not jitter.
@@ -58,31 +61,54 @@ cleanup() {
 }
 trap cleanup EXIT
 
+PROFILE=""
 run_one() { # backend label outfile conc hitratio [extra sgload flags...]
   local backend="$1" label="$2" outfile="$3" conc="$4" hitratio="$5"
   shift 5
-  local addrfile
+  local addrfile pprof_addrfile="" curl_pid=""
   addrfile=$(mktemp -u)
-  GOMAXPROCS="$SRV_GOMAXPROCS" /tmp/sgserve -addr 127.0.0.1:0 -addr-file "$addrfile" \
-    -workers "$SRV_WORKERS" -backend "$backend" >/dev/null 2>&1 &
+  local server_args=(-addr 127.0.0.1:0 -addr-file "$addrfile" -workers "$SRV_WORKERS" -backend "$backend")
+  if [ -n "$PROFILE" ] && [ -n "$PPROF_OUT" ]; then
+    pprof_addrfile=$(mktemp -u)
+    server_args+=(-pprof-addr 127.0.0.1:0 -pprof-addr-file "$pprof_addrfile")
+  fi
+  GOMAXPROCS="$SRV_GOMAXPROCS" /tmp/sgserve "${server_args[@]}" >/dev/null 2>&1 &
   SERVER_PID=$!
   for _ in $(seq 1 100); do [ -s "$addrfile" ] && break; sleep 0.1; done
   if [ ! -s "$addrfile" ]; then
     echo "bench: sgserve never wrote its address" >&2
     exit 1
   fi
+  if [ -n "$pprof_addrfile" ]; then
+    # Profile the whole warmup+measured window; integer-second durations
+    # only (the defaults are). The fetch runs alongside the load and is
+    # collected before the server goes down.
+    local psecs=$(( ${WARMUP%s} + ${DUR%s} ))
+    curl -fsS -o "$PPROF_OUT" \
+      "http://$(cat "$pprof_addrfile")/debug/pprof/profile?seconds=$psecs" &
+    curl_pid=$!
+  fi
   /tmp/sgload -addr "$(cat "$addrfile")" -c "$conc" -duration "$DUR" -warmup "$WARMUP" \
     -graphs 4 -graph-n 1000 -queries path3,cycle4 -hot 8 -hit-ratio "$hitratio" -seed 1 \
     -backend "$backend" -label "$label" -out "$outfile" "$@"
+  if [ -n "$curl_pid" ]; then
+    if wait "$curl_pid"; then
+      echo "bench: wrote CPU profile to $PPROF_OUT"
+    else
+      echo "bench: WARNING: pprof capture failed" >&2
+    fi
+  fi
   kill "$SERVER_PID" 2>/dev/null || true
   wait "$SERVER_PID" 2>/dev/null || true
   SERVER_PID=""
-  rm -f "$addrfile"
+  rm -f "$addrfile" ${pprof_addrfile:+"$pprof_addrfile"}
 }
 
 run_one parallel serving-parallel /tmp/bench_serving_parallel.json "$CONC" 0.98
 run_one sim      serving-sim      /tmp/bench_serving_sim.json      "$CONC" 0.98
-run_one parallel solver-parallel  /tmp/bench_solver_parallel.json  "$SOLVER_CONC" 0
+PROFILE=1
+run_one parallel solver-parallel /tmp/bench_solver_parallel.json "$SOLVER_CONC" 0
+PROFILE=""
 run_one sim      solver-sim       /tmp/bench_solver_sim.json       "$SOLVER_CONC" 0
 # Precision mix: 40% fixed-trial, 30% loose (±10%), 30% tight (±2%)
 # requests over shared hot seeds, so tiers extend each other's cached

@@ -117,4 +117,39 @@ echo "job $long canceled mid-run"
 
 submitted=$(curl -fsS "$BASE/v1/stats" | jq .jobs.submitted)
 echo "stats: $submitted jobs submitted"
+
+# The trace endpoint replays the first job's phase timeline: the solver
+# must have recorded supersteps, and on a serial job the per-phase totals
+# are disjoint slices of the wall clock, so they sum to within it.
+trace=$(curl -fsS "$BASE/v1/jobs/$id/trace")
+trace_id=$(jq -r .id <<<"$trace")
+span_count=$(jq '.spans | length' <<<"$trace")
+path_spans=$(jq '.phases.pathJoin.count // 0' <<<"$trace")
+within_wall=$(jq '(([.phases[].totalMs] | add) <= .wallMs + 1)' <<<"$trace")
+if [ "$trace_id" != "$id" ] || [ "$span_count" -lt 1 ] || [ "$path_spans" -lt 1 ] || [ "$within_wall" != true ]; then
+  echo "FAIL: job trace malformed: id=$trace_id spans=$span_count pathJoin=$path_spans withinWall=$within_wall" >&2
+  echo "$trace" >&2
+  exit 1
+fi
+echo "trace: $span_count spans, $path_spans pathJoin supersteps, phases within wall time"
+
+# /metrics must be parseable Prometheus text carrying the request and
+# request-latency families. The awk lint rejects any non-comment line
+# that is not `name{labels} value` with a numeric value.
+metrics=$(curl -fsS "$BASE/metrics")
+if ! grep -q '^subgraph_requests_total{' <<<"$metrics"; then
+  echo "FAIL: /metrics missing subgraph_requests_total" >&2
+  exit 1
+fi
+if ! grep -q '^subgraph_request_seconds_bucket{' <<<"$metrics"; then
+  echo "FAIL: /metrics missing subgraph_request_seconds histogram" >&2
+  exit 1
+fi
+bad=$(awk '!/^#/ && !/^$/ && $NF !~ /^-?[0-9.eE+Inf-]+$/ { print; exit }' <<<"$metrics")
+if [ -n "$bad" ]; then
+  echo "FAIL: unparseable /metrics line: $bad" >&2
+  exit 1
+fi
+families=$(grep -c '^# TYPE ' <<<"$metrics")
+echo "metrics: $families families, exposition parseable"
 echo "smoke OK"

@@ -39,6 +39,16 @@ type (
 	// PrecisionServiceStats reports the adaptive stopping outcomes
 	// (requests, earlyStops, trialsSaved) under ServiceStats.Precision.
 	PrecisionServiceStats = service.PrecisionStats
+	// TraceInfo is one job's recorded phase timeline (GET
+	// /v1/jobs/{id}/trace): queue wait, cache lookup/store, and one span
+	// per solver superstep, with per-phase aggregates.
+	TraceInfo  = service.TraceInfo
+	TraceSpan  = service.TraceSpan
+	TracePhase = service.TracePhase
+	// LatencySummary is a latency histogram rendered as count, mean, and
+	// interpolated p50/p95/p99 milliseconds (ServiceStats.HTTP and
+	// ServiceStats.TrialLatency).
+	LatencySummary = service.LatencySummary
 )
 
 // Job lifecycle states.
