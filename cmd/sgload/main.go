@@ -175,6 +175,20 @@ type serverSide struct {
 			Steals     int64  `json:"steals"`
 			Supersteps int64  `json:"supersteps"`
 		} `json:"backends"`
+		// Dist lists the distributed backend's worker nodes when the
+		// server runs one (sgserve -dist-workers): per-node transport
+		// volume and executed load, so a BENCH file records how evenly a
+		// dist run spread its work.
+		Dist []struct {
+			Rank      int    `json:"rank"`
+			Addr      string `json:"addr"`
+			Alive     bool   `json:"alive"`
+			BytesSent int64  `json:"bytesSent"`
+			BytesRecv int64  `json:"bytesRecv"`
+			Exchanges int64  `json:"exchanges"`
+			Load      int64  `json:"load"`
+			Jobs      int64  `json:"jobs"`
+		} `json:"dist,omitempty"`
 	} `json:"engine"`
 	Estimates uint64 `json:"estimates"`
 }
@@ -344,7 +358,7 @@ func main() {
 	flag.StringVar(&cfg.Queries, "queries", "path3,cycle4,star4,glet1", "comma-separated query mix")
 	flag.IntVar(&cfg.Trials, "trials", 1, "trials per estimate")
 	flag.IntVar(&cfg.Ranks, "ranks", 1, "engine ranks (sim) or workers (parallel) per estimate")
-	flag.StringVar(&cfg.Backend, "backend", "", "execution backend sent with every request: sim or parallel (empty = server default)")
+	flag.StringVar(&cfg.Backend, "backend", "", "execution backend sent with every request: sim, parallel, or dist (empty = server default)")
 	flag.Float64Var(&cfg.HitRatio, "hit-ratio", 0.9, "target cache-hit ratio in [0,1]")
 	flag.IntVar(&cfg.HotSeeds, "hot", 64, "size of the hot key set backing the hit ratio")
 	flag.Int64Var(&cfg.Seed, "seed", 1, "workload RNG seed (equal seeds replay the same mix)")

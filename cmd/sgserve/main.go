@@ -51,6 +51,7 @@ import (
 	"time"
 
 	subgraph "repro"
+	"repro/internal/dist"
 )
 
 func main() {
@@ -66,7 +67,8 @@ func main() {
 		maxTr     = flag.Int("max-trials", 1024, "reject requests asking for more trials than this")
 		maxRk     = flag.Int("max-ranks", 256, "reject requests asking for more engine ranks/workers than this")
 		ranks     = flag.Int("ranks", 4, "default engine ranks (sim) or workers (parallel) per estimate")
-		backend   = flag.String("backend", "", "default execution backend: sim (paper's simulated engine) or parallel (shared-memory); empty = $SUBGRAPH_BACKEND or sim")
+		backend   = flag.String("backend", "", "default execution backend: sim (paper's simulated engine), parallel (shared-memory), or dist (requires -dist-workers); empty = $SUBGRAPH_BACKEND or sim")
+		distAddrs = flag.String("dist-workers", "", "comma-separated sgworker addresses; connecting enables the dist backend (rank order = address order)")
 		timeout   = flag.Duration("timeout", 0, "default per-job deadline (0 = none)")
 		jobTTL    = flag.Duration("job-ttl", 10*time.Minute, "how long finished jobs stay fetchable via /v1/jobs")
 		maxJobs   = flag.Int("max-jobs", 4096, "max finished jobs retained before the oldest are dropped")
@@ -92,6 +94,35 @@ func main() {
 		os.Exit(1)
 	}
 
+	// Connecting the worker cluster registers "dist" as a backend, so it
+	// must precede backend-name validation.
+	var distStats func() []subgraph.DistNodeStats
+	if *distAddrs != "" {
+		addrs := splitAddrs(*distAddrs)
+		cluster, err := dist.Connect(addrs, dist.Options{Logger: logger})
+		if err != nil {
+			fatal("dist workers unreachable", "err", err)
+		}
+		defer cluster.Close()
+		dist.Enable(cluster)
+		distStats = func() []subgraph.DistNodeStats {
+			nodes := cluster.NodeStats()
+			out := make([]subgraph.DistNodeStats, len(nodes))
+			for i, n := range nodes {
+				out[i] = subgraph.DistNodeStats{
+					Rank: n.Rank, Addr: n.Addr, Alive: n.Alive,
+					BytesSent: n.BytesSent, BytesRecv: n.BytesRecv,
+					FramesSent: n.FramesSent, FramesRecv: n.FramesRecv,
+					Exchanges: n.Exchanges, Load: n.Load, Jobs: n.Jobs,
+				}
+			}
+			return out
+		}
+		logger.Info("dist cluster connected", "workers", len(addrs))
+	} else if *backend == "dist" {
+		fatal("backend dist needs -dist-workers")
+	}
+
 	// A bad -backend (or $SUBGRAPH_BACKEND) must kill the server here, not
 	// surface as a 400 on every request once traffic arrives.
 	if _, err := subgraph.CanonicalBackend(*backend); err != nil {
@@ -114,6 +145,7 @@ func main() {
 		JobTTL:           *jobTTL,
 		MaxJobs:          *maxJobs,
 		Logger:           logger,
+		DistStats:        distStats,
 	})
 
 	for _, name := range strings.Split(*preload, ",") {
@@ -193,6 +225,16 @@ func servePprof(ln net.Listener, logger *slog.Logger) {
 	if err := srv.Serve(ln); err != nil {
 		logger.Warn("pprof server stopped", "err", err)
 	}
+}
+
+func splitAddrs(s string) []string {
+	var out []string
+	for _, a := range strings.Split(s, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			out = append(out, a)
+		}
+	}
+	return out
 }
 
 func describe(workers int) string {

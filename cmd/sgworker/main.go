@@ -1,0 +1,102 @@
+// Command sgworker runs one distributed-backend worker process. A
+// coordinator (sgserve -backend dist, or any program using internal/dist)
+// connects, handshakes, and drives counting jobs over the wire protocol;
+// the worker executes its assigned rank's partitions with the same
+// deterministic solver as every other backend.
+//
+// Start two workers and a server that uses them:
+//
+//	sgworker -addr :9001 &
+//	sgworker -addr :9002 &
+//	sgserve -addr :8080 -backend dist -dist-workers localhost:9001,localhost:9002
+//
+// Each accepted connection is an independent session (rank assignment and
+// jobs are per-connection), so one worker can serve several coordinators.
+// Graphs are cached per process across sessions by structural
+// fingerprint. SIGINT/SIGTERM close the listener and exit.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log/slog"
+	"net"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+
+	"repro/internal/dist"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":9001", "listen address (port 0 picks a free port; see -addr-file)")
+		addrFile = flag.String("addr-file", "", "write the actually bound address to this file once listening (for scripts using -addr :0)")
+		conc     = flag.Int("conc", 0, "goroutines executing this rank's partitions (0 = NumCPU)")
+		cache    = flag.Int("graph-cache", 8, "decoded graphs kept per worker (fingerprint LRU)")
+		logLevel = flag.String("log-level", "info", "log level: debug, info, warn, or error")
+	)
+	flag.Parse()
+
+	level, err := parseLevel(*logLevel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sgworker:", err)
+		os.Exit(1)
+	}
+	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		logger.Error("listen failed", "addr", *addr, "err", err)
+		os.Exit(1)
+	}
+	bound := ln.Addr().String()
+	if *addrFile != "" {
+		if err := os.WriteFile(*addrFile, []byte(bound+"\n"), 0o644); err != nil {
+			logger.Error("addr-file write failed", "path", *addrFile, "err", err)
+			os.Exit(1)
+		}
+	}
+	logger.Info("worker listening", "addr", bound)
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-stop
+		logger.Info("shutting down")
+		ln.Close()
+	}()
+
+	// One cache for the whole process: coordinators that reconnect (or
+	// several coordinators sharing the worker) reuse shipped graphs.
+	opts := dist.WorkerOptions{Conc: *conc, Cache: dist.NewGraphCache(*cache), Logger: logger}
+	for {
+		c, err := ln.Accept()
+		if err != nil {
+			// Listener closed by the signal handler: exit cleanly. Any other
+			// accept error on a closed listener reports the same way.
+			logger.Info("listener closed", "err", err)
+			return
+		}
+		logger.Info("coordinator connected", "peer", c.RemoteAddr().String())
+		go func() {
+			err := dist.ServeConn(c, opts)
+			logger.Info("coordinator session ended", "peer", c.RemoteAddr().String(), "err", err)
+		}()
+	}
+}
+
+func parseLevel(s string) (slog.Level, error) {
+	switch strings.ToLower(s) {
+	case "debug":
+		return slog.LevelDebug, nil
+	case "info", "":
+		return slog.LevelInfo, nil
+	case "warn":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	}
+	return 0, fmt.Errorf("bad -log-level %q (want debug, info, warn, or error)", s)
+}

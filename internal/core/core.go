@@ -69,6 +69,10 @@ type Options struct {
 	// Plan overrides the decomposition tree; nil uses the calibrated §6
 	// planner (PickPlan).
 	Plan *decomp.Tree
+	// Engine injects a pre-built backend instead of constructing one from
+	// Backend/Workers — the dist worker runtime uses it to run this same
+	// solver over one rank's partitions (SPMD). Most callers leave it nil.
+	Engine engine.Backend
 }
 
 // Stats reports the engine-level counters of one run: the paper's load
@@ -133,9 +137,16 @@ func CountColorfulContext(ctx context.Context, g *graph.Graph, q *query.Graph, c
 	if err := validate(g, q, colors, plan); err != nil {
 		return 0, Stats{}, err
 	}
-	be, err := engine.New(opts.Backend, opts.Workers, g.N())
-	if err != nil {
-		return 0, Stats{}, err
+	be := opts.Engine
+	if be == nil {
+		var err error
+		be, err = engine.New(opts.Backend, opts.Workers, engine.Job{
+			N: g.N(), Graph: g, Colors: colors, Query: q, Plan: plan,
+			Algorithm: int(opts.Algorithm), Mode: engine.ModeCount, Ctx: ctx,
+		})
+		if err != nil {
+			return 0, Stats{}, err
+		}
 	}
 	s := &solver{
 		ctx:     ctx,
@@ -151,11 +162,25 @@ func CountColorfulContext(ctx context.Context, g *graph.Graph, q *query.Graph, c
 	if err := ctx.Err(); err != nil {
 		return 0, Stats{}, err
 	}
+	// On a multi-process backend every rank holds only its partitions'
+	// share of the answer; Reduce sums them (and surfaces a lost worker
+	// or remote failure). Single-process backends return count unchanged.
+	count, err := be.Reduce(count)
+	if err != nil {
+		return 0, Stats{}, err
+	}
 	return count, s.stats(), nil
 }
 
-// stats snapshots the backend counters of a finished run.
+// stats snapshots the backend counters of a finished run. A backend that
+// distributes the tables themselves (dist) reports its remote ranks'
+// entry totals through the optional TableEntriesHint; locally the
+// coordinator's shards are empty, so the sum stays the global total.
 func (s *solver) stats() Stats {
+	entries := s.entries
+	if h, ok := s.be.(interface{ TableEntriesHint() int64 }); ok {
+		entries += h.TableEntriesHint()
+	}
 	max, avg, total := s.be.LoadStats()
 	return Stats{
 		Backend:      s.be.Name(),
@@ -166,7 +191,7 @@ func (s *solver) stats() Stats {
 		Messages:     s.be.Messages(),
 		Steals:       s.be.Steals(),
 		Supersteps:   s.be.Steps(),
-		TableEntries: s.entries,
+		TableEntries: entries,
 		Loads:        s.be.Loads(),
 	}
 }
@@ -271,8 +296,11 @@ func (s *solver) run(plan *decomp.Tree) uint64 {
 			}
 		case decomp.SingletonRoot:
 			if len(b.Children) == 0 {
-				// A 1-node query: every vertex is a colorful match.
-				answer = uint64(s.g.N())
+				// A 1-node query: every vertex is a colorful match. Count
+				// only owned vertices so multi-process ranks contribute
+				// disjoint shares to the Reduce.
+				lo, hi := s.be.Owned()
+				answer = uint64(hi - lo)
 			} else {
 				answer = s.tables[b.Children[0]].Total()
 			}

@@ -232,7 +232,9 @@ func TestDBPrunesLoad(t *testing.T) {
 	if sDB.TotalLoad >= sPS.TotalLoad {
 		t.Errorf("DB load %d not below PS load %d on a skewed graph", sDB.TotalLoad, sPS.TotalLoad)
 	}
-	if sDB.MaxLoad <= 0 || sDB.Workers != 4 || len(sDB.Loads) != 4 {
+	// The backend may not honor the requested width (a dist cluster's rank
+	// count is fixed at connect time), so check consistency, not the knob.
+	if sDB.MaxLoad <= 0 || sDB.Workers <= 0 || len(sDB.Loads) != sDB.Workers {
 		t.Errorf("stats malformed: %+v", sDB)
 	}
 }

@@ -59,9 +59,16 @@ func CountColorfulPerVertexContext(ctx context.Context, g *graph.Graph, q *query
 		return nil, 0, Stats{}, fmt.Errorf(
 			"core: anchor %d is not in the plan's root block %v; pass a plan whose root contains it", anchor, root.Nodes)
 	}
-	be, err := engine.New(opts.Backend, opts.Workers, g.N())
-	if err != nil {
-		return nil, 0, Stats{}, err
+	be := opts.Engine
+	if be == nil {
+		var err error
+		be, err = engine.New(opts.Backend, opts.Workers, engine.Job{
+			N: g.N(), Graph: g, Colors: colors, Query: q, Plan: plan,
+			Algorithm: int(opts.Algorithm), Mode: engine.ModePerVertex, Anchor: anchor, Ctx: ctx,
+		})
+		if err != nil {
+			return nil, 0, Stats{}, err
+		}
 	}
 	s := &solver{
 		ctx:     ctx,
@@ -75,6 +82,14 @@ func CountColorfulPerVertexContext(ctx context.Context, g *graph.Graph, q *query
 	}
 	per := s.runPerVertex(plan, anchor)
 	if err := ctx.Err(); err != nil {
+		return nil, 0, Stats{}, err
+	}
+	// Each rank's slots are nonzero only for its owned vertices (entries
+	// are homed at the anchor mapping's owner); ReduceVec assembles the
+	// global vector on a multi-process backend, and is the identity
+	// locally.
+	per, err := be.ReduceVec(per)
+	if err != nil {
 		return nil, 0, Stats{}, err
 	}
 	return per, anchor, s.stats(), nil
@@ -111,8 +126,10 @@ func (s *solver) runPerVertex(plan *decomp.Tree, anchor int) []uint64 {
 		switch b.Kind {
 		case decomp.SingletonRoot:
 			if len(b.Children) == 0 {
-				// 1-node query: one match per vertex.
-				for v := range per {
+				// 1-node query: one match per vertex — owned vertices only,
+				// so multi-process ranks fill disjoint slots for ReduceVec.
+				lo, hi := s.be.Owned()
+				for v := lo; v < hi; v++ {
 					per[v] = 1
 				}
 				return per

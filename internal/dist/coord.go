@@ -1,0 +1,197 @@
+package dist
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/engine"
+)
+
+// Coord is the engine.Backend the coordinator process hands to its local
+// solver: a rank that owns zero partitions. The solver's Run calls are
+// no-ops here (all partition work happens on the workers), its Step and
+// Deliver calls block at the global superstep barrier — so a trace span
+// around them measures the real distributed phase — and Reduce gathers
+// the per-rank answers into the global one.
+type Coord struct {
+	t     topo
+	job   *cjob
+	steps atomic.Int64
+
+	mu  sync.Mutex
+	res *gathered // set once by Reduce/ReduceVec
+}
+
+// gathered is the digested set of rank reports.
+type gathered struct {
+	loads   []int64 // per rank
+	msgs    int64
+	entries int64
+}
+
+// Name returns "dist".
+func (d *Coord) Name() string { return engine.DistName }
+
+// P returns the global partition count.
+func (d *Coord) P() int { return d.t.parts }
+
+// Workers returns the worker-process count.
+func (d *Coord) Workers() int { return d.t.ranks }
+
+// N returns the vertex-space size.
+func (d *Coord) N() int { return d.t.n }
+
+// Owner returns the partition owning vertex v.
+func (d *Coord) Owner(v uint32) int { return d.t.owner(v) }
+
+// Range returns the vertex interval of partition w.
+func (d *Coord) Range(w int) (lo, hi uint32) { return d.t.partRange(w) }
+
+// Owned returns the empty interval: the coordinator executes no
+// partitions itself.
+func (d *Coord) Owned() (lo, hi uint32) { return 0, 0 }
+
+// Run is a no-op: partition tasks run on the workers, whose replicated
+// solvers make the same Run call over their own partitions. Local-only
+// phases therefore cost the coordinator nothing; their time is observed
+// at the next superstep barrier.
+func (d *Coord) Run(func(w int)) {}
+
+// Step advances the superstep counter and blocks until every rank has
+// finished producing (and therefore sent) this superstep's batches. The
+// out table stays untouched — no partition is owned here. A failed job
+// returns immediately; the failure surfaces in Reduce.
+func (d *Coord) Step(out *engine.Sharded, produce func(w int, emit func(dst int, m engine.Msg))) {
+	_ = d.job.barrier(d.steps.Add(1))
+}
+
+// Deliver is Step with a custom consumer; neither runs locally.
+func (d *Coord) Deliver(produce func(w int, emit func(dst int, m engine.Msg)), consume func(dst int, m engine.Msg)) {
+	_ = d.job.barrier(d.steps.Add(1))
+}
+
+// AddLoad is a no-op: the coordinator performs no projection operations.
+func (d *Coord) AddLoad(w int, di int64) {}
+
+// Reduce gathers every rank's final report and returns the global count.
+// This is where a lost worker, a remote error, or an SPMD divergence
+// surfaces as the run's error.
+func (d *Coord) Reduce(local uint64) (uint64, error) {
+	dones, err := d.gather()
+	if err != nil {
+		return 0, err
+	}
+	total := local
+	for _, m := range dones {
+		total += m.Count
+	}
+	return total, nil
+}
+
+// ReduceVec assembles the global per-vertex vector from each rank's owned
+// block.
+func (d *Coord) ReduceVec(local []uint64) ([]uint64, error) {
+	dones, err := d.gather()
+	if err != nil {
+		return nil, err
+	}
+	for rank, m := range dones {
+		if int(m.OwnedHi) > len(local) || m.OwnedLo > m.OwnedHi ||
+			int(m.OwnedHi-m.OwnedLo) != len(m.PerVertex) {
+			return nil, fmt.Errorf("dist: worker %d reported per-vertex block [%d,%d) with %d entries",
+				rank, m.OwnedLo, m.OwnedHi, len(m.PerVertex))
+		}
+		for i, v := range m.PerVertex {
+			local[int(m.OwnedLo)+i] += v
+		}
+	}
+	return local, nil
+}
+
+// gather waits for all rank reports, validates the SPMD invariant
+// (identical superstep counts everywhere), digests the counters, and
+// retires the job.
+func (d *Coord) gather() (map[int]*jobDoneMsg, error) {
+	dones, err := d.job.gather()
+	if err != nil {
+		return nil, err
+	}
+	steps := d.steps.Load()
+	for rank, m := range dones {
+		if m.Steps != steps {
+			err := fmt.Errorf("dist: worker %d ran %d supersteps, coordinator ran %d (SPMD divergence)", rank, m.Steps, steps)
+			d.job.fail(err)
+			return nil, err
+		}
+	}
+	g := &gathered{loads: make([]int64, d.t.ranks)}
+	for rank, m := range dones {
+		g.loads[rank] = m.Load
+		g.msgs += m.Msgs
+		g.entries += m.Entries
+	}
+	d.mu.Lock()
+	d.res = g
+	d.mu.Unlock()
+	d.job.c.removeJob(d.job.id)
+	return dones, nil
+}
+
+func (d *Coord) snapshot() *gathered {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.res
+}
+
+// Loads returns per-worker-node load counters (zero until Reduce has
+// gathered the rank reports).
+func (d *Coord) Loads() []int64 {
+	if g := d.snapshot(); g != nil {
+		out := make([]int64, len(g.loads))
+		copy(out, g.loads)
+		return out
+	}
+	return make([]int64, d.t.ranks)
+}
+
+// LoadStats returns (max, avg, total) over the per-node loads.
+func (d *Coord) LoadStats() (max int64, avg float64, total int64) {
+	for _, l := range d.Loads() {
+		total += l
+		if l > max {
+			max = l
+		}
+	}
+	return max, float64(total) / float64(d.t.ranks), total
+}
+
+// Messages returns the number of real cross-process messages exchanged
+// (each keyed count addressed to a remote partition, counted once at its
+// sender). Comparable with the sim backend's simulated count for the same
+// plan and partition count — the paper's predicted-vs-actual harness.
+func (d *Coord) Messages() int64 {
+	if g := d.snapshot(); g != nil {
+		return g.msgs
+	}
+	return 0
+}
+
+// Steals returns 0: partition ownership is static, as on the paper's
+// cluster.
+func (d *Coord) Steals() int64 { return 0 }
+
+// Steps returns the superstep count — identical across all three backends
+// for a given plan, and verified against every rank's own count at
+// gather time.
+func (d *Coord) Steps() int64 { return d.steps.Load() }
+
+// TableEntriesHint reports the projection-table entries materialized on
+// the workers (the coordinator's own shards stay empty); core adds it to
+// its local count when snapshotting Stats.
+func (d *Coord) TableEntriesHint() int64 {
+	if g := d.snapshot(); g != nil {
+		return g.entries
+	}
+	return 0
+}

@@ -1,0 +1,27 @@
+package dist
+
+import (
+	"fmt"
+	"net"
+)
+
+// Loopback builds a cluster whose workers are goroutines in this process,
+// connected over synchronous in-memory pipes. Every frame still crosses
+// the full wire codec — encode, length-prefix, decode — so the loopback
+// cluster exercises the identical protocol as real worker processes,
+// minus the sockets. It is the dist backend's debug and test transport,
+// and a way to run the wire path on one machine without spawning workers.
+func Loopback(ranks int, opts WorkerOptions) (*Cluster, error) {
+	if ranks <= 0 {
+		return nil, fmt.Errorf("dist: loopback cluster needs at least one rank, got %d", ranks)
+	}
+	conns := make([]net.Conn, ranks)
+	addrs := make([]string, ranks)
+	for i := 0; i < ranks; i++ {
+		coordSide, workerSide := net.Pipe()
+		conns[i] = coordSide
+		addrs[i] = fmt.Sprintf("loopback/%d", i)
+		go ServeConn(workerSide, opts)
+	}
+	return NewWithConns(conns, addrs, Options{})
+}

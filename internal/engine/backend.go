@@ -1,15 +1,22 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"os"
+	"sort"
+	"sync"
+
+	"repro/internal/decomp"
+	"repro/internal/graph"
+	"repro/internal/query"
 )
 
 // Backend is the pluggable execution runtime behind the solver phases.
 // The algorithm layer (internal/core) is written entirely against this
 // interface: a backend owns the vertex space in P contiguous partitions,
 // runs partition tasks, and delivers keyed counts emitted during a
-// superstep to the partition that owns them. Two implementations exist:
+// superstep to the partition that owns them. Three implementations exist:
 //
 //   - "sim" (Cluster): the paper's §7 distributed runtime simulated in
 //     shared memory — P goroutine "ranks", per-superstep message buffers,
@@ -20,19 +27,27 @@ import (
 //     stealing, and emitted counts are merged straight into the
 //     destination table shard under a per-partition lock, skipping
 //     message materialization entirely.
+//   - "dist" (internal/dist): real multi-process supersteps — partitions
+//     are block-assigned to worker processes reached over a
+//     length-prefixed wire protocol, every process runs the same solver
+//     over its owned block (SPMD), and per-superstep emissions to remote
+//     partitions are batched per destination and exchanged at the
+//     superstep barrier. Registered only when a worker topology is
+//     configured (dist.Enable).
 //
 // Counts are bit-identical across backends, partition counts, and worker
 // counts: every table operation is a commutative uint64 accumulation, so
 // delivery order and partition boundaries cannot change a result.
 type Backend interface {
-	// Name is the backend's canonical name ("sim" or "parallel").
+	// Name is the backend's canonical name ("sim", "parallel", "dist").
 	Name() string
 	// P is the number of vertex-ownership partitions (= table shards).
 	// Run and Step index tasks and shards by partition.
 	P() int
 	// Workers is the real execution concurrency. For sim it equals P
 	// (one goroutine per simulated rank); for parallel it is the worker
-	// pool size, with P partitions multiplexed onto it.
+	// pool size, with P partitions multiplexed onto it; for dist it is
+	// the worker-process count.
 	Workers() int
 	// N is the vertex-space size.
 	N() int
@@ -41,15 +56,25 @@ type Backend interface {
 	// Range returns the half-open vertex interval [lo, hi) owned by
 	// partition w.
 	Range(w int) (lo, hi uint32)
-	// Run executes f(w) exactly once for every partition w, concurrently.
-	// f has exclusive use of partition w's state (table shards, partial
-	// slots indexed by w) for the duration of its call.
+	// Owned returns the half-open vertex interval whose partitions this
+	// process executes. Single-process backends own the whole space
+	// [0, N); a dist worker rank owns its contiguous block; the dist
+	// coordinator owns nothing ([0, 0)). The solver uses it for the
+	// degenerate phases that enumerate vertices directly instead of
+	// scanning owned table shards.
+	Owned() (lo, hi uint32)
+	// Run executes f(w) exactly once for every locally owned partition w,
+	// concurrently. f has exclusive use of partition w's state (table
+	// shards, partial slots indexed by w) for the duration of its call.
 	Run(f func(w int))
-	// Step runs one superstep: produce runs for every partition and emits
-	// keyed counts addressed to destination partitions; when Step returns,
-	// every emitted count has been accumulated into out's destination
-	// shard. The emit closure is only valid during the call and only from
-	// the task that received it.
+	// Step runs one superstep: produce runs for every owned partition and
+	// emits keyed counts addressed to destination partitions; when Step
+	// returns, every count emitted by this process has been accumulated
+	// into out's destination shard (locally owned destinations) or handed
+	// to the owning process (remote destinations), and every count
+	// addressed to a locally owned partition — by any process — has been
+	// merged. The emit closure is only valid during the call and only
+	// from the task that received it.
 	Step(out *Sharded, produce func(w int, emit func(dst int, m Msg)))
 	// Deliver is Step with a custom delivery: each emitted count is handed
 	// to consume at its destination partition instead of being merged into
@@ -57,19 +82,31 @@ type Backend interface {
 	// with each other, so per-partition consumer state needs no locking;
 	// calls for different dsts may run concurrently.
 	Deliver(produce func(w int, emit func(dst int, m Msg)), consume func(dst int, m Msg))
+	// Reduce combines per-process partial totals into the global total:
+	// single-process backends return local unchanged; the dist
+	// coordinator gathers every rank's contribution and sums. It is
+	// called once, after the last superstep, and is the point where a
+	// distributed run's failures (lost worker, canceled job) surface.
+	Reduce(local uint64) (uint64, error)
+	// ReduceVec is Reduce for per-vertex counts: entries are summed
+	// elementwise across processes (each vertex is owned by exactly one
+	// partition, so exactly one process contributes to each slot).
+	ReduceVec(local []uint64) ([]uint64, error)
 	// AddLoad charges d projection-function operations to partition w
 	// (the paper's Figure 11 load metric).
 	AddLoad(w int, d int64)
 	// Loads returns a per-worker snapshot of the load counters (partition
-	// loads folded onto the worker whose band owns them).
+	// loads folded onto the worker whose band owns them; per worker node
+	// for dist).
 	Loads() []int64
 	// LoadStats returns (max, avg, total) over the per-worker loads.
 	LoadStats() (max int64, avg float64, total int64)
-	// Messages is the number of simulated messages exchanged; a backend
-	// that merges tables directly (parallel) reports 0.
+	// Messages is the number of messages exchanged: simulated messages
+	// for sim, real cross-process messages for dist; a backend that
+	// merges tables directly (parallel) reports 0.
 	Messages() int64
 	// Steals is the number of partition tasks executed by a worker other
-	// than the partition's home worker; always 0 for sim.
+	// than the partition's home worker; always 0 for sim and dist.
 	Steals() int64
 	// Steps is the number of supersteps executed so far (Step and Deliver
 	// calls). The count is deterministic for a given plan — it depends only
@@ -84,47 +121,133 @@ type Backend interface {
 const (
 	SimName      = "sim"
 	ParallelName = "parallel"
+	DistName     = "dist"
 )
+
+// JobMode selects what a distributed job computes.
+type JobMode int32
+
+const (
+	// ModeCount computes the scalar colorful-match count.
+	ModeCount JobMode = iota
+	// ModePerVertex computes per-vertex counts grouped by the anchor.
+	ModePerVertex
+)
+
+// Job is the full context of one counting run, handed to the backend
+// factory. Single-process backends only need N; the dist backend ships
+// the rest to its worker processes so every rank can run the same solver
+// (SPMD) over its owned partitions.
+type Job struct {
+	// N is the vertex-space size. Required; equals Graph.N() when Graph
+	// is set.
+	N int
+	// Graph, Colors, Query, and Plan describe the run. Plan is the
+	// concrete decomposition tree the local solver will traverse — the
+	// dist backend serializes it structurally so remote ranks enumerate
+	// the same splits.
+	Graph  *graph.Graph
+	Colors []uint8
+	Query  *query.Graph
+	Plan   *decomp.Tree
+	// Algorithm is the cycle-solver choice (core.Algorithm's integer
+	// value; engine cannot import core).
+	Algorithm int
+	// Mode and Anchor select scalar vs per-vertex counting.
+	Mode   JobMode
+	Anchor int
+	// Ctx bounds the run. The dist coordinator watches it so a canceled
+	// run tears its remote job down even if the local solver returns
+	// without reaching Reduce.
+	Ctx context.Context
+}
+
+// Factory builds a backend for one run. workers ≤ 0 means the backend's
+// own default topology (4 simulated ranks for sim, GOMAXPROCS workers for
+// parallel, 4 partitions per node for dist).
+type Factory func(workers int, job Job) (Backend, error)
+
+var (
+	regMu    sync.RWMutex
+	registry = map[string]Factory{}
+)
+
+// Register installs (or replaces) the factory for a backend name. The
+// built-in single-process backends register themselves at init; the dist
+// backend registers when a worker topology is configured (dist.Enable),
+// so "dist" is only a valid request on processes wired to a cluster.
+func Register(name string, f Factory) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	registry[name] = f
+}
+
+// Names returns the registered backend names, sorted.
+func Names() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	out := make([]string, 0, len(registry))
+	for n := range registry {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func lookup(name string) (Factory, bool) {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	f, ok := registry[name]
+	return f, ok
+}
+
+func init() {
+	Register(SimName, func(workers int, job Job) (Backend, error) {
+		if workers <= 0 {
+			workers = 4 // the historical core default rank count
+		}
+		return NewCluster(workers, job.N), nil
+	})
+	Register(ParallelName, func(workers int, job Job) (Backend, error) {
+		return NewParallel(workers, job.N), nil
+	})
+}
 
 // BackendEnv names the environment variable consulted when a backend name
 // is left empty: it lets the whole test suite (and any embedding binary
 // that doesn't thread the knob) run under a non-default backend, which is
-// how CI exercises tier-1 tests under both runtimes.
+// how CI exercises tier-1 tests under every runtime.
 const BackendEnv = "SUBGRAPH_BACKEND"
 
 // Canonical resolves a backend name to its canonical form: an empty name
-// falls back to $SUBGRAPH_BACKEND and then to "sim"; unknown names are
-// errors. The env var is read per call — it resolves once per solver
-// construction, not on a hot path, and caching it would make t.Setenv in
-// tests silently ineffective.
+// falls back to $SUBGRAPH_BACKEND and then to "sim"; names without a
+// registered factory are errors (so "dist" is rejected on processes with
+// no worker topology configured). The env var is read per call — it
+// resolves once per solver construction, not on a hot path, and caching
+// it would make t.Setenv in tests silently ineffective.
 func Canonical(name string) (string, error) {
 	if name == "" {
 		name = os.Getenv(BackendEnv)
 	}
-	switch name {
-	case "", SimName:
+	if name == "" {
 		return SimName, nil
-	case ParallelName:
-		return ParallelName, nil
 	}
-	return "", fmt.Errorf("engine: unknown backend %q (want %q or %q)", name, SimName, ParallelName)
+	if _, ok := lookup(name); !ok {
+		return "", fmt.Errorf("engine: unknown backend %q (registered: %v)", name, Names())
+	}
+	return name, nil
 }
 
-// New builds the named backend over an n-vertex space. workers ≤ 0 picks
-// the backend's default concurrency: 4 simulated ranks for sim (the
-// historical core default), GOMAXPROCS real workers for parallel.
-func New(name string, workers, n int) (Backend, error) {
+// New builds the named backend for one run. workers ≤ 0 picks the
+// backend's default concurrency, decided by the backend's own factory.
+func New(name string, workers int, job Job) (Backend, error) {
 	canonical, err := Canonical(name)
 	if err != nil {
 		return nil, err
 	}
-	switch canonical {
-	case ParallelName:
-		return NewParallel(workers, n), nil
-	default:
-		if workers <= 0 {
-			workers = 4
-		}
-		return NewCluster(workers, n), nil
+	f, ok := lookup(canonical)
+	if !ok {
+		return nil, fmt.Errorf("engine: unknown backend %q (registered: %v)", canonical, Names())
 	}
+	return f(workers, job)
 }

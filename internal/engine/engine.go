@@ -79,6 +79,16 @@ func (c *Cluster) Range(w int) (lo, hi uint32) {
 	return uint32(l), uint32(h)
 }
 
+// Owned returns the whole vertex space: a single-process backend executes
+// every partition itself.
+func (c *Cluster) Owned() (lo, hi uint32) { return 0, uint32(c.n) }
+
+// Reduce returns local unchanged: one process holds every partial total.
+func (c *Cluster) Reduce(local uint64) (uint64, error) { return local, nil }
+
+// ReduceVec returns local unchanged.
+func (c *Cluster) ReduceVec(local []uint64) ([]uint64, error) { return local, nil }
+
 // Run executes f(w) for every worker w on its own goroutine and waits.
 func (c *Cluster) Run(f func(w int)) {
 	var wg sync.WaitGroup

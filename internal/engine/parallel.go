@@ -97,6 +97,16 @@ func (p *Parallel) Range(w int) (lo, hi uint32) {
 	return uint32(l), uint32(h)
 }
 
+// Owned returns the whole vertex space: a single-process backend executes
+// every partition itself.
+func (p *Parallel) Owned() (lo, hi uint32) { return 0, uint32(p.n) }
+
+// Reduce returns local unchanged: one process holds every partial total.
+func (p *Parallel) Reduce(local uint64) (uint64, error) { return local, nil }
+
+// ReduceVec returns local unchanged.
+func (p *Parallel) ReduceVec(local []uint64) ([]uint64, error) { return local, nil }
+
 // band returns the half-open partition interval a worker drains first.
 func (p *Parallel) band(g int) (lo, hi int) {
 	return g * p.parts / p.workers, (g + 1) * p.parts / p.workers

@@ -163,21 +163,21 @@ func TestCanonicalAndNew(t *testing.T) {
 	if _, err := Canonical("mpi"); err == nil {
 		t.Fatal("Canonical accepted an unknown backend")
 	}
-	be, err := New("parallel", 0, 100)
+	be, err := New("parallel", 0, Job{N: 100})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if be.Name() != ParallelName || be.Workers() < 1 {
 		t.Fatalf("New(parallel): name %q workers %d", be.Name(), be.Workers())
 	}
-	sim, err := New("sim", 0, 100)
+	sim, err := New("sim", 0, Job{N: 100})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if sim.Name() != SimName || sim.Workers() != 4 {
 		t.Fatalf("New(sim): name %q workers %d, want sim/4", sim.Name(), sim.Workers())
 	}
-	if _, err := New("mpi", 2, 100); err == nil {
+	if _, err := New("mpi", 2, Job{N: 100}); err == nil {
 		t.Fatal("New accepted an unknown backend")
 	}
 }

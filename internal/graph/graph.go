@@ -7,6 +7,7 @@ package graph
 import (
 	"fmt"
 	"sort"
+	"sync"
 )
 
 // NoVertex is the sentinel for "no vertex" in table keys and APIs.
@@ -25,6 +26,10 @@ type Graph struct {
 	// vertices sorted by (degree, id) increasing. rank[u] > rank[v] means
 	// "u ≻ v" — u is higher than v.
 	rank []int32
+
+	// fp memoizes the structural Fingerprint (wire.go).
+	fpOnce sync.Once
+	fp     uint64
 }
 
 // N returns the number of vertices.

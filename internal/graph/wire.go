@@ -1,0 +1,76 @@
+package graph
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"hash/fnv"
+)
+
+// Wire support for the dist backend: a Graph ships to worker processes
+// once per fingerprint and is cached there, so supersteps exchange only
+// keyed counts. Only the CSR structure travels; the degree-based rank
+// order is recomputed on arrival (it is a pure function of the structure,
+// so every process derives the identical order).
+
+// wireGraph is the gob shape of a Graph. The rank order is derived, not
+// shipped.
+type wireGraph struct {
+	Name string
+	N    int
+	Off  []int64
+	Nbr  []uint32
+}
+
+// GobEncode implements gob.GobEncoder.
+func (g *Graph) GobEncode() ([]byte, error) {
+	var buf bytes.Buffer
+	err := gob.NewEncoder(&buf).Encode(wireGraph{Name: g.Name, N: g.n, Off: g.off, Nbr: g.nbr})
+	return buf.Bytes(), err
+}
+
+// GobDecode implements gob.GobDecoder, rebuilding the derived rank order.
+func (g *Graph) GobDecode(b []byte) error {
+	var w wireGraph
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&w); err != nil {
+		return err
+	}
+	if len(w.Off) != w.N+1 {
+		return fmt.Errorf("graph: wire CSR has %d offsets for %d vertices", len(w.Off), w.N)
+	}
+	for v := 0; v < w.N; v++ {
+		if w.Off[v] > w.Off[v+1] || w.Off[v+1] > int64(len(w.Nbr)) {
+			return fmt.Errorf("graph: wire CSR offsets out of order at vertex %d", v)
+		}
+	}
+	g.Name = w.Name
+	g.n = w.N
+	g.off = w.Off
+	g.nbr = w.Nbr
+	g.computeRank()
+	return nil
+}
+
+// Fingerprint returns a structural FNV-1a hash of the graph (vertex count
+// and CSR arrays; the name does not participate). Graphs are immutable
+// after construction, so the hash is memoized per instance — the dist
+// coordinator calls this once per trial.
+func (g *Graph) Fingerprint() uint64 {
+	g.fpOnce.Do(func() {
+		h := fnv.New64a()
+		var b [8]byte
+		binary.LittleEndian.PutUint64(b[:], uint64(g.n))
+		h.Write(b[:])
+		for _, o := range g.off {
+			binary.LittleEndian.PutUint64(b[:], uint64(o))
+			h.Write(b[:])
+		}
+		for _, v := range g.nbr {
+			binary.LittleEndian.PutUint32(b[:4], v)
+			h.Write(b[:4])
+		}
+		g.fp = h.Sum64()
+	})
+	return g.fp
+}

@@ -25,6 +25,22 @@ type EngineBackendStats struct {
 	Supersteps int64 `json:"supersteps"`
 }
 
+// DistNodeStats is one distributed worker node's transport counters,
+// cumulative since the process connected to it. Populated only when the
+// server runs with a dist cluster (Options.DistStats).
+type DistNodeStats struct {
+	Rank       int    `json:"rank"`
+	Addr       string `json:"addr"`
+	Alive      bool   `json:"alive"`
+	BytesSent  int64  `json:"bytesSent"` // coordinator → node
+	BytesRecv  int64  `json:"bytesRecv"` // node → coordinator
+	FramesSent int64  `json:"framesSent"`
+	FramesRecv int64  `json:"framesRecv"`
+	Exchanges  int64  `json:"exchanges"` // superstep completions reported
+	Load       int64  `json:"load"`      // projection operations executed on the node
+	Jobs       int64  `json:"jobs"`      // finished rank reports
+}
+
 // EngineStats is the /v1/stats "engine" section: which backend the
 // service runs by default, at what width, and what every backend that has
 // actually run has done so far.
@@ -32,6 +48,9 @@ type EngineStats struct {
 	Backend  string                        `json:"backend"` // service default
 	Workers  int                           `json:"workers"` // default ranks/workers per request
 	Backends map[string]EngineBackendStats `json:"backends"`
+	// Dist lists the distributed backend's worker nodes, present only
+	// when the process is wired to a dist cluster.
+	Dist []DistNodeStats `json:"dist,omitempty"`
 }
 
 // engineTracker accumulates per-backend engine counters. It is touched

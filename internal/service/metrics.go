@@ -273,4 +273,22 @@ func (m *metricsRecorder) bridge(st Stats) {
 		counter("subgraph_engine_messages_total", "Simulated messages exchanged, by execution backend.", l, uint64(b.Messages))
 		counter("subgraph_engine_steals_total", "Partition tasks stolen, by execution backend.", l, uint64(b.Steals))
 	}
+
+	// Distributed-backend worker nodes, one series per node. Transport
+	// bytes/frames are from the coordinator's perspective.
+	for _, node := range st.Engine.Dist {
+		l := obs.Labels{"node": strconv.Itoa(node.Rank)}
+		alive := 0.0
+		if node.Alive {
+			alive = 1
+		}
+		gauge("subgraph_dist_node_up", "Whether the dist worker node's connection is alive.", l, alive)
+		counter("subgraph_dist_node_bytes_sent_total", "Bytes the coordinator sent to the dist worker node.", l, uint64(node.BytesSent))
+		counter("subgraph_dist_node_bytes_recv_total", "Bytes the coordinator received from the dist worker node.", l, uint64(node.BytesRecv))
+		counter("subgraph_dist_node_frames_sent_total", "Protocol frames sent to the dist worker node.", l, uint64(node.FramesSent))
+		counter("subgraph_dist_node_frames_recv_total", "Protocol frames received from the dist worker node.", l, uint64(node.FramesRecv))
+		counter("subgraph_dist_node_exchanges_total", "Superstep completions the dist worker node reported.", l, uint64(node.Exchanges))
+		counter("subgraph_dist_node_load_total", "Projection operations executed on the dist worker node.", l, uint64(node.Load))
+		counter("subgraph_dist_node_jobs_total", "Finished rank reports from the dist worker node.", l, uint64(node.Jobs))
+	}
 }

@@ -87,6 +87,11 @@ type Options struct {
 	// which drops Debug — so access logging is opt-in via the handler's
 	// level, not a separate switch.
 	Logger *slog.Logger
+	// DistStats, when non-nil, snapshots the distributed backend's
+	// per-worker-node counters for /v1/stats and /metrics. The binary that
+	// owns the dist cluster (sgserve) injects it; the service itself stays
+	// agnostic of the cluster's lifecycle.
+	DistStats func() []DistNodeStats
 }
 
 func (o Options) withDefaults() Options {
@@ -1138,6 +1143,7 @@ func (s *Service) Stats() Stats {
 			Backend:  s.opts.Backend,
 			Workers:  s.opts.DefaultRanks,
 			Backends: s.engine.snapshot(),
+			Dist:     s.distStats(),
 		},
 		Shards: ShardsStats{
 			Count:    len(s.reg.shards),
@@ -1147,4 +1153,13 @@ func (s *Service) Stats() Stats {
 		HTTP:         s.metrics.httpSummary(),
 		TrialLatency: s.metrics.trialSummary(),
 	}
+}
+
+// distStats snapshots the dist cluster's per-node counters when the
+// process has one wired in.
+func (s *Service) distStats() []DistNodeStats {
+	if s.opts.DistStats == nil {
+		return nil
+	}
+	return s.opts.DistStats()
 }

@@ -2,25 +2,31 @@
 # Benchmark the sgserve stack end to end with cmd/sgload, and gate CI on
 # throughput regressions.
 #
-#   scripts/bench.sh           run, write BENCH_pr6.json, fail if the
+#   scripts/bench.sh           run, write BENCH_pr7.json, fail if the
 #                              serving-path (parallel backend) throughput
 #                              drops more than 25% below
 #                              scripts/bench_baseline.json
 #   scripts/bench.sh -update   run and overwrite the baseline instead
 #
-# Five runs with identical seeded workloads, merged into one BENCH_pr6.json
+# Six runs with identical seeded workloads, merged into one BENCH_pr7.json
 # at the repo root:
 #
 #   serving.{parallel,sim}  hit-ratio 0.98 — the cache/registry/jobs hot
 #                           path, where the sharded structures and the
 #                           split singleflight index earn their keep. The
 #                           parallel-backend run is the regression gate.
-#   solver.{parallel,sim}   hit-ratio 0 — every request runs the solver,
-#                           so this pair compares the execution backends
-#                           themselves: the parallel backend merges
-#                           projection tables directly and must come out
-#                           ≥ the sim backend, which pays the simulated
-#                           message exchange on every superstep.
+#   solver.{parallel,sim,dist}  hit-ratio 0 — every request runs the
+#                           solver, so this trio compares the execution
+#                           backends themselves: the parallel backend
+#                           merges projection tables directly and must
+#                           come out ≥ the sim backend, which pays the
+#                           simulated message exchange on every
+#                           superstep; the dist run pays real gob
+#                           framing to two sgworker processes over
+#                           loopback TCP, so its gap over sim prices the
+#                           wire. A correctness gate pins a dist
+#                           estimate to the sim estimate bit for bit
+#                           before any dist throughput is recorded.
 #   precision               mixed precision tiers (fixed-trial, ±10%, ±2%)
 #                           over shared hot seeds — the declarative API's
 #                           economy: adaptive early stops (trialsSaved)
@@ -42,7 +48,7 @@ CONC="${BENCH_CONCURRENCY:-32}"
 SOLVER_CONC="${BENCH_SOLVER_CONCURRENCY:-8}"
 SRV_GOMAXPROCS="${BENCH_SERVER_GOMAXPROCS:-4}"
 SRV_WORKERS="${BENCH_SERVER_WORKERS:-4}"
-OUT="BENCH_pr6.json"
+OUT="BENCH_pr7.json"
 BASELINE="scripts/bench_baseline.json"
 # The solver-bound parallel run doubles as the profiling window: its CPU
 # profile lands here (CI uploads it as an artifact). Empty disables.
@@ -54,12 +60,34 @@ DROP_FRACTION=0.75
 
 go build -o /tmp/sgserve ./cmd/sgserve
 go build -o /tmp/sgload ./cmd/sgload
+go build -o /tmp/sgworker ./cmd/sgworker
 
 SERVER_PID=""
+WORKER_PIDS=()
 cleanup() {
   [ -n "$SERVER_PID" ] && kill "$SERVER_PID" 2>/dev/null || true
+  for p in "${WORKER_PIDS[@]}"; do kill "$p" 2>/dev/null || true; done
 }
 trap cleanup EXIT
+
+# Two real worker processes back the dist runs; rank order = address order.
+DIST_WORKERS=""
+start_workers() {
+  local i addrfile addrs=()
+  for i in 1 2; do
+    addrfile=$(mktemp -u)
+    /tmp/sgworker -addr 127.0.0.1:0 -addr-file "$addrfile" -log-level warn &
+    WORKER_PIDS+=($!)
+    for _ in $(seq 1 100); do [ -s "$addrfile" ] && break; sleep 0.1; done
+    if [ ! -s "$addrfile" ]; then
+      echo "bench: sgworker $i never wrote its address" >&2
+      exit 1
+    fi
+    addrs+=("$(cat "$addrfile")")
+    rm -f "$addrfile"
+  done
+  DIST_WORKERS="${addrs[0]},${addrs[1]}"
+}
 
 PROFILE=""
 run_one() { # backend label outfile conc hitratio [extra sgload flags...]
@@ -68,6 +96,9 @@ run_one() { # backend label outfile conc hitratio [extra sgload flags...]
   local addrfile pprof_addrfile="" curl_pid=""
   addrfile=$(mktemp -u)
   local server_args=(-addr 127.0.0.1:0 -addr-file "$addrfile" -workers "$SRV_WORKERS" -backend "$backend")
+  if [ "$backend" = dist ]; then
+    server_args+=(-dist-workers "$DIST_WORKERS")
+  fi
   if [ -n "$PROFILE" ] && [ -n "$PPROF_OUT" ]; then
     pprof_addrfile=$(mktemp -u)
     server_args+=(-pprof-addr 127.0.0.1:0 -pprof-addr-file "$pprof_addrfile")
@@ -110,6 +141,40 @@ PROFILE=1
 run_one parallel solver-parallel /tmp/bench_solver_parallel.json "$SOLVER_CONC" 0
 PROFILE=""
 run_one sim      solver-sim       /tmp/bench_solver_sim.json       "$SOLVER_CONC" 0
+
+# Dist correctness gate, then the dist throughput run. The gate serves the
+# same estimate request through a sim server and a dist server (two real
+# sgworker processes) and requires bit-identical matches and per-trial
+# counts — a dist backend that is fast but drifts is a failure, not a
+# data point.
+start_workers
+gate_req='{"graph":"enron","query":"cycle5","trials":3,"seed":11}'
+gate_one() { # backend [extra sgserve flags...]
+  local backend="$1"
+  shift
+  local addrfile pid base
+  addrfile=$(mktemp -u)
+  /tmp/sgserve -addr 127.0.0.1:0 -addr-file "$addrfile" -preload enron -scale 512 -seed 1 \
+    -backend "$backend" "$@" >/dev/null 2>&1 &
+  pid=$!
+  for _ in $(seq 1 100); do [ -s "$addrfile" ] && break; sleep 0.1; done
+  base="http://$(cat "$addrfile")"
+  for _ in $(seq 1 100); do curl -fsS "$base/healthz" >/dev/null 2>&1 && break; sleep 0.1; done
+  curl -fsS "$base/v1/estimate" -d "$gate_req"
+  kill "$pid" 2>/dev/null || true
+  wait "$pid" 2>/dev/null || true
+  rm -f "$addrfile"
+}
+sim_est=$(gate_one sim | jq -c '{matches: .Matches, counts: .Counts}')
+dist_est=$(gate_one dist -dist-workers "$DIST_WORKERS" | jq -c '{matches: .Matches, counts: .Counts}')
+if [ -z "$sim_est" ] || [ "$sim_est" != "$dist_est" ]; then
+  echo "FAIL: dist estimate diverged from sim:" >&2
+  echo "  sim:  $sim_est" >&2
+  echo "  dist: $dist_est" >&2
+  exit 1
+fi
+echo "bench: dist-vs-sim gate OK ($sim_est)"
+run_one dist solver-dist /tmp/bench_solver_dist.json "$SOLVER_CONC" 0
 # Precision mix: 40% fixed-trial, 30% loose (±10%), 30% tight (±2%)
 # requests over shared hot seeds, so tiers extend each other's cached
 # trials instead of recomputing them.
@@ -119,19 +184,20 @@ run_one parallel precision-mix /tmp/bench_precision.json "$SOLVER_CONC" 0.9 \
 jq -n --argjson conc "$CONC" --argjson sconc "$SOLVER_CONC" \
   --slurpfile sp /tmp/bench_serving_parallel.json --slurpfile ss /tmp/bench_serving_sim.json \
   --slurpfile vp /tmp/bench_solver_parallel.json --slurpfile vs /tmp/bench_solver_sim.json \
+  --slurpfile vd /tmp/bench_solver_dist.json \
   --slurpfile pm /tmp/bench_precision.json '{
-    bench: "sgserve serving + solver paths per execution backend, plus precision-mix traffic (closed-loop sgload)",
+    bench: "sgserve serving + solver paths per execution backend (incl. dist over two worker processes), plus precision-mix traffic (closed-loop sgload)",
     concurrency: $conc,
     solverConcurrency: $sconc,
     serving: { parallel: $sp[0], sim: $ss[0] },
-    solver:  { parallel: $vp[0], sim: $vs[0] },
+    solver:  { parallel: $vp[0], sim: $vs[0], dist: $vd[0] },
     precision: $pm[0]
   }' >"$OUT"
 
 summary() {
   jq -r '
     def row: "\(.label): \(.throughputRps|floor) req/s  p50 \(.latencyMs.p50Ms)ms  p99 \(.latencyMs.p99Ms)ms  jobs lockWait \(.server.jobs.lockWaitMs|floor)ms  sf lockWait \(.server.jobs.singleflight.lockWaitMs|floor)ms";
-    (.serving.parallel | row), (.serving.sim | row), (.solver.parallel | row), (.solver.sim | row), (.precision | row),
+    (.serving.parallel | row), (.serving.sim | row), (.solver.parallel | row), (.solver.sim | row), (.solver.dist | row), (.precision | row),
     "precision-mix: \(.precision.server.precision.requests) targeted requests, \(.precision.server.precision.earlyStops) early stops, \(.precision.trialsSaved) trials saved, \(.precision.server.cache.extended) cache extensions (rate \(.precision.extendedRate))"
   ' "$OUT"
 }
@@ -149,7 +215,8 @@ echo "bench: precision mix saved $saved trials, $extended cache extensions"
 
 par=$(jq -r '.solver.parallel.throughputRps' "$OUT")
 sim=$(jq -r '.solver.sim.throughputRps' "$OUT")
-echo "bench: solver-bound backends: parallel $par req/s vs sim $sim req/s"
+dst=$(jq -r '.solver.dist.throughputRps' "$OUT")
+echo "bench: solver-bound backends: parallel $par req/s vs sim $sim req/s vs dist $dst req/s"
 if [ "$(jq -n --argjson p "$par" --argjson s "$sim" '$p >= $s')" != "true" ]; then
   # Warn rather than fail: on loaded single-core runners the gap is small
   # enough for scheduling noise to flip individual runs.

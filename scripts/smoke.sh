@@ -21,9 +21,20 @@ go build -o /tmp/sgserve ./cmd/sgserve
 # Bind port 0 and read the actual address back: a hardcoded port collides
 # with concurrent jobs on shared CI runners.
 ADDR_FILE=$(mktemp -u)
+DIST_ADDR_FILE=$(mktemp -u)
+W1_ADDR_FILE=$(mktemp -u)
+W2_ADDR_FILE=$(mktemp -u)
+SERVER_PID="" DIST_PID="" W1_PID="" W2_PID=""
+cleanup() {
+  for p in "$SERVER_PID" "$DIST_PID" "$W1_PID" "$W2_PID"; do
+    [ -n "$p" ] && kill "$p" 2>/dev/null || true
+  done
+  rm -f "$ADDR_FILE" "$DIST_ADDR_FILE" "$W1_ADDR_FILE" "$W2_ADDR_FILE"
+}
+trap cleanup EXIT
+
 /tmp/sgserve -addr 127.0.0.1:0 -addr-file "$ADDR_FILE" -preload enron -scale 512 -seed 1 &
 SERVER_PID=$!
-trap 'kill "$SERVER_PID" 2>/dev/null || true; rm -f "$ADDR_FILE"' EXIT
 
 for _ in $(seq 1 100); do
   [ -s "$ADDR_FILE" ] && break
@@ -152,4 +163,61 @@ if [ -n "$bad" ]; then
 fi
 families=$(grep -c '^# TYPE ' <<<"$metrics")
 echo "metrics: $families families, exposition parseable"
+
+# ---- dist backend pass: the same goldens through two real worker ----
+# ---- processes over TCP.                                         ----
+# The estimate must be byte-for-byte the numbers the sim backend served
+# above: the dist backend changes where supersteps execute, never what
+# they compute.
+go build -o /tmp/sgworker ./cmd/sgworker
+/tmp/sgworker -addr 127.0.0.1:0 -addr-file "$W1_ADDR_FILE" -log-level warn &
+W1_PID=$!
+/tmp/sgworker -addr 127.0.0.1:0 -addr-file "$W2_ADDR_FILE" -log-level warn &
+W2_PID=$!
+for f in "$W1_ADDR_FILE" "$W2_ADDR_FILE"; do
+  for _ in $(seq 1 100); do [ -s "$f" ] && break; sleep 0.1; done
+  [ -s "$f" ] || { echo "FAIL: sgworker never wrote $f" >&2; exit 1; }
+done
+WORKERS="$(cat "$W1_ADDR_FILE"),$(cat "$W2_ADDR_FILE")"
+/tmp/sgserve -addr 127.0.0.1:0 -addr-file "$DIST_ADDR_FILE" -backend dist \
+  -dist-workers "$WORKERS" -preload enron -scale 512 -seed 1 &
+DIST_PID=$!
+for _ in $(seq 1 100); do [ -s "$DIST_ADDR_FILE" ] && break; sleep 0.1; done
+DBASE="http://$(cat "$DIST_ADDR_FILE")"
+for _ in $(seq 1 100); do
+  curl -fsS "$DBASE/healthz" >/dev/null 2>&1 && break
+  sleep 0.1
+done
+echo "dist: sgserve up against workers $WORKERS"
+
+dist_body=$(curl -fsS "$DBASE/v1/estimate" -d "$req")
+dist_matches=$(jq -r .Matches <<<"$dist_body")
+dist_counts=$(jq -c .Counts <<<"$dist_body")
+if [ "$dist_matches" != "$GOLDEN_MATCHES" ] || [ "$dist_counts" != "$GOLDEN_COUNTS" ]; then
+  echo "FAIL: dist estimate drifted from golden:" >&2
+  echo "  matches $dist_matches (want $GOLDEN_MATCHES)" >&2
+  echo "  counts  $dist_counts (want $GOLDEN_COUNTS)" >&2
+  exit 1
+fi
+echo "dist: matches=$dist_matches (golden, bit-identical to sim)"
+
+# Per-node transport counters must show both workers alive and actually
+# exchanging supersteps — not one node doing all the work.
+dist_stats=$(curl -fsS "$DBASE/v1/stats")
+node_count=$(jq '.engine.dist | length' <<<"$dist_stats")
+all_alive=$(jq '[.engine.dist[].alive] | all' <<<"$dist_stats")
+min_exchanges=$(jq '[.engine.dist[].exchanges] | min' <<<"$dist_stats")
+if [ "$node_count" != 2 ] || [ "$all_alive" != true ] || [ "$min_exchanges" -lt 1 ]; then
+  echo "FAIL: dist node stats wrong: nodes=$node_count alive=$all_alive minExchanges=$min_exchanges" >&2
+  jq .engine.dist <<<"$dist_stats" >&2
+  exit 1
+fi
+echo "dist: $node_count nodes alive, every node completed >= $min_exchanges exchanges"
+
+dist_metrics=$(curl -fsS "$DBASE/metrics")
+if ! grep -q '^subgraph_dist_node_up{node="1"} 1$' <<<"$dist_metrics"; then
+  echo "FAIL: /metrics missing subgraph_dist_node_up for node 1" >&2
+  exit 1
+fi
+echo "dist: per-node /metrics families present"
 echo "smoke OK"

@@ -49,6 +49,10 @@ type (
 	// interpolated p50/p95/p99 milliseconds (ServiceStats.HTTP and
 	// ServiceStats.TrialLatency).
 	LatencySummary = service.LatencySummary
+	// DistNodeStats is one distributed worker node's transport counters
+	// (ServiceStats.Engine.Dist), populated when the server runs the
+	// "dist" backend against real worker processes.
+	DistNodeStats = service.DistNodeStats
 )
 
 // Job lifecycle states.
