@@ -190,6 +190,21 @@ type serverSide struct {
 			Jobs      int64  `json:"jobs"`
 		} `json:"dist,omitempty"`
 	} `json:"engine"`
+	// Durable mirrors the append-only trial/job log's counters when the
+	// server runs with -data-dir; absent on in-memory servers. A serving
+	// benchmark against a durable server is only meaningful if Appends
+	// moved — bench.sh gates on it.
+	Durable *struct {
+		Appends       uint64 `json:"appends"`
+		Lag           int64  `json:"lag"`
+		ReplayedRuns  uint64 `json:"replayedRuns"`
+		ReplayedJobs  uint64 `json:"replayedJobs"`
+		Compactions   uint64 `json:"compactions"`
+		Fsyncs        uint64 `json:"fsyncs"`
+		WriteErrors   uint64 `json:"writeErrors"`
+		WalBytes      int64  `json:"walBytes"`
+		SnapshotBytes int64  `json:"snapshotBytes"`
+	} `json:"durable,omitempty"`
 	Estimates uint64 `json:"estimates"`
 }
 

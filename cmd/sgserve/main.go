@@ -77,6 +77,10 @@ func main() {
 		preload   = flag.String("preload", "", "comma-separated stand-in graphs to register at startup")
 		scale     = flag.Int("scale", 512, "stand-in size divisor for -preload")
 		seed      = flag.Int64("seed", 1, "generator seed for -preload")
+		dataDir   = flag.String("data-dir", "", "persist trial runs and finished jobs to this directory, replayed on boot (empty = in-memory only)")
+		fsyncPol  = flag.String("fsync", "interval", "durable log sync policy with -data-dir: always (group commit per batch), interval (see -fsync-every), or never")
+		fsyncGap  = flag.Duration("fsync-every", 100*time.Millisecond, "sync cadence for -fsync interval")
+		compactMB = flag.Int64("compact-mb", 64, "snapshot and truncate the durable log once it exceeds this size (MiB)")
 		logLevel  = flag.String("log-level", "info", "log level: debug (includes per-request access logs), info, warn, or error")
 		pprofAddr = flag.String("pprof-addr", "", "serve net/http/pprof on this separate address (empty = disabled)")
 		pprofFile = flag.String("pprof-addr-file", "", "write the actually bound pprof address to this file (for scripts using -pprof-addr 127.0.0.1:0)")
@@ -129,7 +133,10 @@ func main() {
 		fatal("bad -backend", "err", err)
 	}
 
-	svc := subgraph.NewService(subgraph.ServiceOptions{
+	// Replay happens inside OpenService, before the listener below binds:
+	// the first request a restarted server accepts already sees the warm
+	// cache and the previous process's finished jobs.
+	svc, err := subgraph.OpenService(subgraph.ServiceOptions{
 		Workers:          *workers,
 		QueueDepth:       *queue,
 		CacheCapacity:    *cacheCap,
@@ -146,7 +153,16 @@ func main() {
 		MaxJobs:          *maxJobs,
 		Logger:           logger,
 		DistStats:        distStats,
+		Durability: subgraph.DurabilityOptions{
+			Dir:          *dataDir,
+			Fsync:        *fsyncPol,
+			FsyncEvery:   *fsyncGap,
+			CompactBytes: *compactMB << 20,
+		},
 	})
+	if err != nil {
+		fatal("service start failed", "err", err)
+	}
 
 	for _, name := range strings.Split(*preload, ",") {
 		name = strings.TrimSpace(name)

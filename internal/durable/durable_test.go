@@ -1,0 +1,243 @@
+package durable
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/coloring"
+	"repro/internal/core"
+)
+
+// testRun builds a deterministic RunRecord for stream seed with n trials:
+// every field populated, so round-trip mismatches can't hide in zeros.
+func testRun(seed int64, n int) RunRecord {
+	r := RunRecord{
+		Graph:     0xdeadbeef ^ uint64(seed),
+		Query:     fmt.Sprintf("k5:sig%d", seed),
+		Algorithm: 1,
+		Backend:   "parallel",
+		Seed:      seed,
+		Ranks:     4,
+	}
+	for i := 0; i < n; i++ {
+		r.Counts = append(r.Counts, uint64(seed)*1000+uint64(i))
+		r.Stats = append(r.Stats, core.Stats{
+			Backend: "parallel", Workers: 4, MaxLoad: int64(i + 1),
+			AvgLoad: 0.25 * float64(i), TotalLoad: int64(seed) + int64(i),
+			Messages: int64(i * 7), Supersteps: int64(i + 2),
+			Loads: []int64{int64(i), int64(i) + 1},
+		})
+	}
+	return r
+}
+
+func testJob(id string) JobRecord {
+	now := time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+	return JobRecord{
+		ID: id, State: "done", Graph: "enron", Query: "glet1",
+		Cached: true, TrialsTotal: 3, TrialsDone: 3,
+		Created: now, Started: now.Add(time.Millisecond),
+		Finished: now.Add(time.Second), Expires: now.Add(time.Hour),
+		Estimate: &coloring.Estimate{Graph: "enron", Query: "glet1",
+			Trials: 3, Counts: []uint64{4418, 8064, 1442}, Matches: 120868.05},
+	}
+}
+
+func openT(t *testing.T, dir string, opts Options) (*Log, State) {
+	t.Helper()
+	opts.Dir = dir
+	l, st, err := Open(opts)
+	if err != nil {
+		t.Fatalf("Open(%s): %v", dir, err)
+	}
+	return l, st
+}
+
+// TestRoundTrip is the core contract: everything appended before Close is
+// replayed bit-identically on the next Open.
+func TestRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	l, st := openT(t, dir, Options{Fsync: FsyncAlways})
+	if len(st.Runs) != 0 || len(st.Jobs) != 0 {
+		t.Fatalf("fresh dir replayed state: %+v", st)
+	}
+	want := []RunRecord{testRun(1, 3), testRun(2, 5), testRun(3, 1)}
+	for _, r := range want {
+		l.AppendRun(r)
+	}
+	wantJobs := []JobRecord{testJob("j1"), testJob("j2")}
+	for _, j := range wantJobs {
+		l.AppendJob(j)
+	}
+	l.Close()
+
+	l2, st2 := openT(t, dir, Options{})
+	defer l2.Close()
+	if !reflect.DeepEqual(st2.Runs, want) {
+		t.Errorf("replayed runs diverge:\n got %+v\nwant %+v", st2.Runs, want)
+	}
+	if !reflect.DeepEqual(st2.Jobs, wantJobs) {
+		t.Errorf("replayed jobs diverge:\n got %+v\nwant %+v", st2.Jobs, wantJobs)
+	}
+	if st2.TruncatedBytes != 0 {
+		t.Errorf("clean log replayed with TruncatedBytes = %d", st2.TruncatedBytes)
+	}
+	if s := l2.Stats(); s.ReplayedRuns != 3 || s.ReplayedJobs != 2 {
+		t.Errorf("stats = %+v, want 3 replayed runs / 2 jobs", s)
+	}
+}
+
+// TestReplayMergesLongestWins: repeated records over one trial stream
+// merge to the longest (the cache's extension semantics), and terminal
+// job records are first-wins per id.
+func TestReplayMergesLongestWins(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := openT(t, dir, Options{})
+	l.AppendRun(testRun(7, 2))
+	l.AppendRun(testRun(7, 6)) // extension: same stream, more trials
+	l.AppendRun(testRun(7, 4)) // shorter re-append: must not shrink
+	first := testJob("j9")
+	l.AppendJob(first)
+	dup := testJob("j9")
+	dup.State = "failed" // corrupt duplicate; replay must keep the first
+	l.AppendJob(dup)
+	l.Close()
+
+	l2, st := openT(t, dir, Options{})
+	defer l2.Close()
+	if len(st.Runs) != 1 || !reflect.DeepEqual(st.Runs[0], testRun(7, 6)) {
+		t.Errorf("merged runs = %+v, want the 6-trial record alone", st.Runs)
+	}
+	if len(st.Jobs) != 1 || !reflect.DeepEqual(st.Jobs[0], first) {
+		t.Errorf("merged jobs = %+v, want the first j9 record alone", st.Jobs)
+	}
+}
+
+// TestCompaction: past the size threshold the log snapshots the live
+// state and truncates the WAL; a subsequent Open replays snapshot + WAL
+// to the same state.
+func TestCompaction(t *testing.T) {
+	dir := t.TempDir()
+	// The "live state" the compactor snapshots: the canonical merge of
+	// everything appended, exactly what a real service would export.
+	var mu sync.Mutex
+	live := map[int64]RunRecord{}
+	snapshot := func() ([]RunRecord, []JobRecord) {
+		mu.Lock()
+		defer mu.Unlock()
+		var runs []RunRecord
+		for s := int64(0); s < 64; s++ {
+			if r, ok := live[s]; ok {
+				runs = append(runs, r)
+			}
+		}
+		return runs, []JobRecord{testJob("j1")}
+	}
+	l, _ := openT(t, dir, Options{CompactBytes: 1, Snapshot: snapshot})
+	for s := int64(0); s < 16; s++ {
+		r := testRun(s, 3)
+		mu.Lock()
+		live[s] = r
+		mu.Unlock()
+		l.AppendRun(r)
+	}
+	l.Flush()
+	st := l.Stats()
+	if st.Compactions == 0 {
+		t.Fatalf("no compaction ran: %+v", st)
+	}
+	if _, err := os.Stat(filepath.Join(dir, snapName)); err != nil {
+		t.Fatalf("no snapshot file after compaction: %v", err)
+	}
+	l.Close()
+
+	l2, got := openT(t, dir, Options{})
+	defer l2.Close()
+	wantRuns, wantJobs := snapshot()
+	if !reflect.DeepEqual(got.Runs, wantRuns) {
+		t.Errorf("post-compaction replay runs diverge:\n got %d records\nwant %d", len(got.Runs), len(wantRuns))
+	}
+	if !reflect.DeepEqual(got.Jobs, wantJobs) {
+		t.Errorf("post-compaction replay jobs = %+v, want %+v", got.Jobs, wantJobs)
+	}
+}
+
+// TestConcurrentAppendDuringCompaction hammers the append path from many
+// goroutines while tiny CompactBytes forces compactions to interleave
+// with the writes; run under -race this is the data-race gate for the
+// queue/writer/compactor interplay. Afterward every stream must replay
+// at its longest appended length.
+func TestConcurrentAppendDuringCompaction(t *testing.T) {
+	dir := t.TempDir()
+	const streams, perStream = 8, 20
+	var mu sync.Mutex
+	live := map[int64]RunRecord{}
+	snapshot := func() ([]RunRecord, []JobRecord) {
+		mu.Lock()
+		defer mu.Unlock()
+		var runs []RunRecord
+		for s := int64(0); s < streams; s++ {
+			if r, ok := live[s]; ok {
+				runs = append(runs, r)
+			}
+		}
+		return runs, nil
+	}
+	l, _ := openT(t, dir, Options{CompactBytes: 1, Fsync: FsyncNever, Snapshot: snapshot})
+	var wg sync.WaitGroup
+	for s := int64(0); s < streams; s++ {
+		wg.Add(1)
+		go func(s int64) {
+			defer wg.Done()
+			for n := 1; n <= perStream; n++ {
+				r := testRun(s, n)
+				mu.Lock()
+				if len(live[s].Counts) < n {
+					live[s] = r
+				}
+				mu.Unlock()
+				l.AppendRun(r)
+			}
+		}(s)
+	}
+	wg.Wait()
+	l.Close()
+
+	l2, st := openT(t, dir, Options{})
+	defer l2.Close()
+	if len(st.Runs) != streams {
+		t.Fatalf("replayed %d streams, want %d", len(st.Runs), streams)
+	}
+	for _, r := range st.Runs {
+		if len(r.Counts) != perStream {
+			t.Errorf("stream seed=%d replayed %d trials, want %d", r.Seed, len(r.Counts), perStream)
+		}
+		if !reflect.DeepEqual(r, testRun(r.Seed, perStream)) {
+			t.Errorf("stream seed=%d replay diverges from appended record", r.Seed)
+		}
+	}
+}
+
+// TestBadPolicyAndMissingDir cover the configuration errors Open does
+// surface (as opposed to corruption, which it never fails on).
+func TestBadPolicyAndMissingDir(t *testing.T) {
+	if _, _, err := Open(Options{}); err == nil {
+		t.Error("Open without Dir succeeded")
+	}
+	if _, _, err := Open(Options{Dir: t.TempDir(), Fsync: "sometimes"}); err == nil {
+		t.Error("Open with bogus fsync policy succeeded")
+	}
+}
+
+// TestAppendAfterClose: appends after Close are dropped, not panics.
+func TestAppendAfterClose(t *testing.T) {
+	l, _ := openT(t, t.TempDir(), Options{})
+	l.Close()
+	l.AppendRun(testRun(1, 1)) // must not panic or block
+	l.Close()                  // double close must be safe
+}

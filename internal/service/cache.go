@@ -395,6 +395,32 @@ func (sh *cacheShard) evictOldestLocked() {
 	sh.evictions++
 }
 
+// ExportedRun pairs a trial stream's key with its accumulated run, for
+// the durability layer's compaction snapshot.
+type ExportedRun struct {
+	Key TrialKey
+	Run TrialRun
+}
+
+// Export snapshots every resident entry, by reference: the returned runs
+// share the cache's backing arrays. Safe to read concurrently with
+// serving traffic because stored runs are only ever replaced whole (Put
+// installs a fresh clone), never mutated in place — but callers must not
+// write through them. Entries come out oldest-first per shard, matching
+// eviction order.
+func (c *Cache) Export() []ExportedRun {
+	var out []ExportedRun
+	for _, sh := range c.shards {
+		sh.mu.Lock()
+		for el := sh.lru.Back(); el != nil; el = el.Prev() {
+			ce := el.Value.(*centry)
+			out = append(out, ExportedRun{Key: ce.key, Run: ce.val})
+		}
+		sh.mu.Unlock()
+	}
+	return out
+}
+
 // rebalanceLoop periodically re-settles the per-shard capacity allotments.
 func (c *Cache) rebalanceLoop() {
 	t := time.NewTicker(cacheRebalanceEvery)

@@ -256,6 +256,12 @@ type jobManager struct {
 	coalesced uint64
 	canceled  uint64
 	expired   uint64
+
+	// onTerminal, when set, observes every terminal transition under the
+	// manager mutex — the durability layer's append hook. It must not
+	// block (the durable append path only enqueues). Installed once,
+	// before the service accepts traffic.
+	onTerminal func(*job)
 }
 
 func newJobManager(ttl time.Duration, maxJobs, sfShards int) *jobManager {
@@ -435,6 +441,12 @@ func (m *jobManager) finalizeOwnedLocked(j *job, est coloring.Estimate, err erro
 		j.err = err
 	}
 	close(j.done)
+	// The single terminal-transition point: every path — computed,
+	// cache-replayed, canceled, failed, swept at shutdown — lands here
+	// exactly once, so the persistence hook observes each job once.
+	if m.onTerminal != nil {
+		m.onTerminal(j)
+	}
 }
 
 // detach finalizes one job early — client cancel (cause Canceled) or

@@ -265,6 +265,21 @@ func (m *metricsRecorder) bridge(st Stats) {
 	lw("jobs", st.Jobs.LockWait)
 	lw("singleflight", st.Jobs.Singleflight.LockWait)
 
+	// Durability layer (absent on in-memory services): append volume,
+	// queue lag, replay and compaction counters, file sizes.
+	if d := st.Durable; d != nil {
+		counter("subgraph_durable_appends_total", "Records durably appended to the trial/job log.", nil, d.Appends)
+		gauge("subgraph_durable_lag", "Records accepted by the durable log but not yet written.", nil, float64(d.Lag))
+		counter("subgraph_durable_replayed_runs_total", "Trial-cache runs replayed from the log at boot.", nil, d.ReplayedRuns)
+		counter("subgraph_durable_replayed_jobs_total", "Terminal jobs replayed from the log at boot.", nil, d.ReplayedJobs)
+		counter("subgraph_durable_truncated_bytes_total", "Torn or corrupt log-tail bytes dropped during replay.", nil, uint64(d.TruncatedBytes))
+		counter("subgraph_durable_compactions_total", "Snapshot+truncate compactions of the durable log.", nil, d.Compactions)
+		counter("subgraph_durable_fsyncs_total", "fsync calls issued by the durable log.", nil, d.Fsyncs)
+		counter("subgraph_durable_write_errors_total", "Failed durable-log writes, encodes, or syncs.", nil, d.WriteErrors)
+		gauge("subgraph_durable_wal_bytes", "Current size of the durable write-ahead log.", nil, float64(d.WalBytes))
+		gauge("subgraph_durable_snapshot_bytes", "Current size of the durable snapshot file.", nil, float64(d.SnapshotBytes))
+	}
+
 	for name, b := range st.Engine.Backends {
 		l := obs.Labels{"backend": name}
 		counter("subgraph_engine_runs_total", "Estimations computed, by execution backend.", l, b.Runs)

@@ -15,6 +15,7 @@ import (
 
 	"repro/internal/coloring"
 	"repro/internal/core"
+	"repro/internal/durable"
 	"repro/internal/engine"
 	"repro/internal/obs"
 	"repro/internal/query"
@@ -92,6 +93,11 @@ type Options struct {
 	// owns the dist cluster (sgserve) injects it; the service itself stays
 	// agnostic of the cluster's lifecycle.
 	DistStats func() []DistNodeStats
+	// Durability, when Dir is set, persists trial-cache runs and terminal
+	// jobs to an append-only log replayed on boot: a restarted service
+	// serves warm-cache hits and keeps finished jobs addressable. Use
+	// Open (not New) to surface replay I/O errors.
+	Durability DurabilityOptions
 }
 
 func (o Options) withDefaults() Options {
@@ -148,6 +154,7 @@ type Service struct {
 	jobs    *jobManager
 	engine  *engineTracker
 	metrics *metricsRecorder
+	durable *durable.Log // nil when Durability.Dir is unset
 	logger  *slog.Logger
 	start   time.Time
 
@@ -162,14 +169,30 @@ type Service struct {
 	trialsSaved   atomic.Uint64 // trials the adaptive stops skipped vs MaxTrials
 }
 
-// New starts a service. Close releases its workers.
+// New starts a service. Close releases its workers. With
+// Options.Durability set, replay I/O errors panic — use Open to handle
+// them; New stays infallible for the in-memory configuration every
+// existing caller uses.
 func New(opts Options) *Service {
+	s, err := Open(opts)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Open starts a service, replaying its durable log (when configured)
+// before any traffic can arrive. The error is always nil for in-memory
+// configurations; with Durability.Dir set it surfaces data-dir I/O
+// failures — corrupt log tails are truncated and replayed past, never
+// errors.
+func Open(opts Options) (*Service, error) {
 	opts = opts.withDefaults()
 	logger := opts.Logger
 	if logger == nil {
 		logger = slog.Default()
 	}
-	return &Service{
+	s := &Service{
 		opts:    opts,
 		reg:     NewRegistry(opts.GraphBudgetBytes, opts.Shards),
 		cache:   NewCache(opts.CacheCapacity, opts.Shards),
@@ -180,6 +203,13 @@ func New(opts Options) *Service {
 		logger:  logger,
 		start:   time.Now(),
 	}
+	if err := s.setupDurable(); err != nil {
+		s.sched.Close()
+		s.reg.Close()
+		s.cache.Close()
+		return nil, err
+	}
+	return s, nil
 }
 
 // Close cancels outstanding estimation flights (running solvers stop
@@ -192,6 +222,12 @@ func (s *Service) Close() {
 	s.sched.Close()
 	s.reg.Close()
 	s.cache.Close()
+	// The log closes last: the shutdown sweep above may still finalize
+	// jobs (filtered from persistence) and Close flushes everything the
+	// serving paths enqueued.
+	if s.durable != nil {
+		s.durable.Close()
+	}
 }
 
 // Registry exposes the graph registry (for registration and listings).
@@ -616,6 +652,9 @@ func (s *Service) run(ctx context.Context, h *Handle, q *query.Graph, alg core.A
 	end := tr.Start(spanCacheStore)
 	s.cache.Put(key.TrialKey(), TrialRun{Counts: counts, Stats: stats})
 	end()
+	// Persist the accumulated stream (async append, off the hot path) so
+	// a restart replays it into the cache exactly as stored here.
+	s.persistRun(key.TrialKey(), TrialRun{Counts: counts, Stats: stats})
 	s.notePrecision(req, used)
 	return est, nil
 }
@@ -1116,6 +1155,9 @@ type Stats struct {
 	Jobs            JobsStats      `json:"jobs"`
 	Engine          EngineStats    `json:"engine"`
 	Shards          ShardsStats    `json:"shards"`
+	// Durable is the persistence layer's counters; nil (omitted) when the
+	// service runs in-memory.
+	Durable *DurableStats `json:"durable,omitempty"`
 	// HTTP is per-endpoint request latency (count, mean, p50/p95/p99),
 	// summarized from the same histograms /metrics exposes in full.
 	HTTP map[string]LatencySummary `json:"http,omitempty"`
@@ -1125,7 +1167,13 @@ type Stats struct {
 
 // Stats returns the current counters of every layer.
 func (s *Service) Stats() Stats {
+	var dur *DurableStats
+	if s.durable != nil {
+		d := s.durable.Stats()
+		dur = &d
+	}
 	return Stats{
+		Durable:         dur,
 		UptimeSeconds:   time.Since(s.start).Seconds(),
 		Estimates:       s.estimates.Load(),
 		Batches:         s.batches.Load(),

@@ -2,19 +2,26 @@
 # Benchmark the sgserve stack end to end with cmd/sgload, and gate CI on
 # throughput regressions.
 #
-#   scripts/bench.sh           run, write BENCH_pr7.json, fail if the
+#   scripts/bench.sh           run, write BENCH_pr8.json, fail if the
 #                              serving-path (parallel backend) throughput
 #                              drops more than 25% below
 #                              scripts/bench_baseline.json
 #   scripts/bench.sh -update   run and overwrite the baseline instead
 #
-# Six runs with identical seeded workloads, merged into one BENCH_pr7.json
+# Seven runs with identical seeded workloads, merged into one BENCH_pr8.json
 # at the repo root:
 #
 #   serving.{parallel,sim}  hit-ratio 0.98 — the cache/registry/jobs hot
 #                           path, where the sharded structures and the
 #                           split singleflight index earn their keep. The
 #                           parallel-backend run is the regression gate.
+#   serving.durable         the same parallel-backend serving mix with a
+#                           -data-dir and -fsync interval: every cache
+#                           store also lands in the append-only trial
+#                           log. The async appender must keep durability
+#                           off the hot path — this run is gated at ≥95%
+#                           of the in-memory serving.parallel throughput
+#                           measured in the same invocation.
 #   solver.{parallel,sim,dist}  hit-ratio 0 — every request runs the
 #                           solver, so this trio compares the execution
 #                           backends themselves: the parallel backend
@@ -48,7 +55,11 @@ CONC="${BENCH_CONCURRENCY:-32}"
 SOLVER_CONC="${BENCH_SOLVER_CONCURRENCY:-8}"
 SRV_GOMAXPROCS="${BENCH_SERVER_GOMAXPROCS:-4}"
 SRV_WORKERS="${BENCH_SERVER_WORKERS:-4}"
-OUT="BENCH_pr7.json"
+OUT="BENCH_pr8.json"
+# Floor for the durable serving run, as a fraction of the same-run
+# in-memory serving.parallel throughput. The ISSUE bar is a ≤5% cost for
+# fsync-interval durability; override for noisier machines.
+DURABLE_FLOOR="${BENCH_DURABLE_FLOOR:-0.95}"
 BASELINE="scripts/bench_baseline.json"
 # The solver-bound parallel run doubles as the profiling window: its CPU
 # profile lands here (CI uploads it as an artifact). Empty disables.
@@ -90,6 +101,7 @@ start_workers() {
 }
 
 PROFILE=""
+SERVER_EXTRA=() # extra sgserve flags for the next run_one (e.g. -data-dir)
 run_one() { # backend label outfile conc hitratio [extra sgload flags...]
   local backend="$1" label="$2" outfile="$3" conc="$4" hitratio="$5"
   shift 5
@@ -98,6 +110,9 @@ run_one() { # backend label outfile conc hitratio [extra sgload flags...]
   local server_args=(-addr 127.0.0.1:0 -addr-file "$addrfile" -workers "$SRV_WORKERS" -backend "$backend")
   if [ "$backend" = dist ]; then
     server_args+=(-dist-workers "$DIST_WORKERS")
+  fi
+  if [ ${#SERVER_EXTRA[@]} -gt 0 ]; then
+    server_args+=("${SERVER_EXTRA[@]}")
   fi
   if [ -n "$PROFILE" ] && [ -n "$PPROF_OUT" ]; then
     pprof_addrfile=$(mktemp -u)
@@ -137,6 +152,12 @@ run_one() { # backend label outfile conc hitratio [extra sgload flags...]
 
 run_one parallel serving-parallel /tmp/bench_serving_parallel.json "$CONC" 0.98
 run_one sim      serving-sim      /tmp/bench_serving_sim.json      "$CONC" 0.98
+# Durable serving: identical mix, but every miss also appends to the WAL.
+DURABLE_DIR=$(mktemp -d)
+SERVER_EXTRA=(-data-dir "$DURABLE_DIR" -fsync interval)
+run_one parallel serving-durable /tmp/bench_serving_durable.json "$CONC" 0.98
+SERVER_EXTRA=()
+rm -rf "$DURABLE_DIR"
 PROFILE=1
 run_one parallel solver-parallel /tmp/bench_solver_parallel.json "$SOLVER_CONC" 0
 PROFILE=""
@@ -183,13 +204,14 @@ run_one parallel precision-mix /tmp/bench_precision.json "$SOLVER_CONC" 0.9 \
 
 jq -n --argjson conc "$CONC" --argjson sconc "$SOLVER_CONC" \
   --slurpfile sp /tmp/bench_serving_parallel.json --slurpfile ss /tmp/bench_serving_sim.json \
+  --slurpfile sd /tmp/bench_serving_durable.json \
   --slurpfile vp /tmp/bench_solver_parallel.json --slurpfile vs /tmp/bench_solver_sim.json \
   --slurpfile vd /tmp/bench_solver_dist.json \
   --slurpfile pm /tmp/bench_precision.json '{
-    bench: "sgserve serving + solver paths per execution backend (incl. dist over two worker processes), plus precision-mix traffic (closed-loop sgload)",
+    bench: "sgserve serving (in-memory + durable WAL) + solver paths per execution backend (incl. dist over two worker processes), plus precision-mix traffic (closed-loop sgload)",
     concurrency: $conc,
     solverConcurrency: $sconc,
-    serving: { parallel: $sp[0], sim: $ss[0] },
+    serving: { parallel: $sp[0], sim: $ss[0], durable: $sd[0] },
     solver:  { parallel: $vp[0], sim: $vs[0], dist: $vd[0] },
     precision: $pm[0]
   }' >"$OUT"
@@ -197,7 +219,7 @@ jq -n --argjson conc "$CONC" --argjson sconc "$SOLVER_CONC" \
 summary() {
   jq -r '
     def row: "\(.label): \(.throughputRps|floor) req/s  p50 \(.latencyMs.p50Ms)ms  p99 \(.latencyMs.p99Ms)ms  jobs lockWait \(.server.jobs.lockWaitMs|floor)ms  sf lockWait \(.server.jobs.singleflight.lockWaitMs|floor)ms";
-    (.serving.parallel | row), (.serving.sim | row), (.solver.parallel | row), (.solver.sim | row), (.solver.dist | row), (.precision | row),
+    (.serving.parallel | row), (.serving.sim | row), (.serving.durable | row), (.solver.parallel | row), (.solver.sim | row), (.solver.dist | row), (.precision | row),
     "precision-mix: \(.precision.server.precision.requests) targeted requests, \(.precision.server.precision.earlyStops) early stops, \(.precision.trialsSaved) trials saved, \(.precision.server.cache.extended) cache extensions (rate \(.precision.extendedRate))"
   ' "$OUT"
 }
@@ -221,6 +243,24 @@ if [ "$(jq -n --argjson p "$par" --argjson s "$sim" '$p >= $s')" != "true" ]; th
   # Warn rather than fail: on loaded single-core runners the gap is small
   # enough for scheduling noise to flip individual runs.
   echo "bench: WARNING: parallel backend below sim on this run" >&2
+fi
+
+# Durability tax gate: the WAL appender runs off the hot path, so the
+# durable serving run must stay within (1 - DURABLE_FLOOR) of the
+# in-memory run measured moments earlier on the same machine. Same-run
+# comparison (not the saved baseline) so machine class cancels out.
+mem=$(jq -r '.serving.parallel.throughputRps' "$OUT")
+dur=$(jq -r '.serving.durable.throughputRps' "$OUT")
+appends=$(jq -r '.serving.durable.server.durable.appends // 0' "$OUT")
+echo "bench: serving durable $dur req/s vs in-memory $mem req/s ($appends WAL appends; floor ${DURABLE_FLOOR}x)"
+if [ "$appends" -lt 1 ]; then
+  echo "FAIL: durable serving run appended nothing — the WAL was not engaged" >&2
+  exit 1
+fi
+if [ "$(jq -n --argjson d "$dur" --argjson m "$mem" --argjson f "$DURABLE_FLOOR" '$d >= $f * $m')" != "true" ]; then
+  echo "FAIL: durability costs more than $(jq -n --argjson f "$DURABLE_FLOOR" '100*(1-$f)')% of serving throughput" >&2
+  echo "      the appender is on the hot path somewhere (fsync or encode under a service lock?)" >&2
+  exit 1
 fi
 
 if [ "$MODE" = "-update" ]; then

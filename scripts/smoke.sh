@@ -6,7 +6,10 @@
 # body is byte-identical to the synchronous /v1/estimate body, that a
 # precision-targeted job stops at its golden trial count while reusing the
 # 3-trial job's cached trials (the counts prefix must replay bit-identical),
-# and that DELETE cancels a long-running job. Requires curl and jq.
+# and that DELETE cancels a long-running job. A final durability pass
+# kill -9s a -data-dir server mid-traffic and requires the restarted
+# process to serve the same golden bytes purely from WAL replay — zero
+# fresh solver runs. Requires curl and jq.
 set -euo pipefail
 
 GOLDEN_MATCHES="120868.05555555558"
@@ -24,12 +27,15 @@ ADDR_FILE=$(mktemp -u)
 DIST_ADDR_FILE=$(mktemp -u)
 W1_ADDR_FILE=$(mktemp -u)
 W2_ADDR_FILE=$(mktemp -u)
-SERVER_PID="" DIST_PID="" W1_PID="" W2_PID=""
+DUR_ADDR_FILE=$(mktemp -u)
+DATA_DIR=$(mktemp -d)
+SERVER_PID="" DIST_PID="" W1_PID="" W2_PID="" DUR_PID=""
 cleanup() {
-  for p in "$SERVER_PID" "$DIST_PID" "$W1_PID" "$W2_PID"; do
+  for p in "$SERVER_PID" "$DIST_PID" "$W1_PID" "$W2_PID" "$DUR_PID"; do
     [ -n "$p" ] && kill "$p" 2>/dev/null || true
   done
-  rm -f "$ADDR_FILE" "$DIST_ADDR_FILE" "$W1_ADDR_FILE" "$W2_ADDR_FILE"
+  rm -f "$ADDR_FILE" "$DIST_ADDR_FILE" "$W1_ADDR_FILE" "$W2_ADDR_FILE" "$DUR_ADDR_FILE"
+  rm -rf "$DATA_DIR"
 }
 trap cleanup EXIT
 
@@ -220,4 +226,112 @@ if ! grep -q '^subgraph_dist_node_up{node="1"} 1$' <<<"$dist_metrics"; then
   exit 1
 fi
 echo "dist: per-node /metrics families present"
+
+# ---- durability pass: kill -9 mid-traffic, restart over the same ----
+# ---- data dir, serve the goldens from pure WAL replay.           ----
+start_durable() {
+  rm -f "$DUR_ADDR_FILE"
+  /tmp/sgserve -addr 127.0.0.1:0 -addr-file "$DUR_ADDR_FILE" \
+    -preload enron -scale 512 -seed 1 \
+    -data-dir "$DATA_DIR" -fsync always &
+  DUR_PID=$!
+  for _ in $(seq 1 100); do [ -s "$DUR_ADDR_FILE" ] && break; sleep 0.1; done
+  [ -s "$DUR_ADDR_FILE" ] || { echo "FAIL: durable sgserve never wrote its address" >&2; exit 1; }
+  DURBASE="http://$(cat "$DUR_ADDR_FILE")"
+  for _ in $(seq 1 100); do
+    curl -fsS "$DURBASE/healthz" >/dev/null 2>&1 && break
+    sleep 0.1
+  done
+}
+
+start_durable
+echo "durable: sgserve up over $DATA_DIR (fsync=always)"
+
+# Populate the log through the async job path (so a terminal job record
+# lands too) plus the precision request that extends the cached trials.
+djob=$(curl -fsS "$DURBASE/v1/jobs" -d "$req" | jq -r .id)
+dstate=""
+for _ in $(seq 1 60); do
+  dstate=$(curl -fsS "$DURBASE/v1/jobs/$djob?wait=2s" | jq -r .state)
+  [ "$dstate" = queued ] || [ "$dstate" = running ] || break
+done
+[ "$dstate" = done ] || { echo "FAIL: durable job $djob ended $dstate" >&2; exit 1; }
+dur_job_body=$(curl -fsS "$DURBASE/v1/jobs/$djob/result")
+dur_prec_body=$(curl -fsS "$DURBASE/v1/estimate" -d "$preq")
+
+# Mid-traffic casualty: a long job still running when the kill lands. It
+# never reaches a terminal state, so it must NOT be resurrected later.
+dlong=$(curl -fsS "$DURBASE/v1/jobs" -d '{"graph":"enron","query":"brain3","trials":500,"seed":1}' | jq -r .id)
+
+# Wait until the durable log has drained (lag 0 under fsync=always means
+# every append above is on disk), then kill -9 — no graceful shutdown.
+for _ in $(seq 1 100); do
+  lag=$(curl -fsS "$DURBASE/v1/stats" | jq .durable.lag)
+  [ "$lag" = 0 ] && break
+  sleep 0.1
+done
+[ "$lag" = 0 ] || { echo "FAIL: durable lag never drained (lag=$lag)" >&2; exit 1; }
+kill -9 "$DUR_PID"
+wait "$DUR_PID" 2>/dev/null || true
+DUR_PID=""
+echo "durable: killed -9 mid-traffic (long job $dlong still running)"
+
+start_durable
+replayed=$(curl -fsS "$DURBASE/v1/stats" | jq .durable.replayedRuns)
+if [ "$replayed" -lt 1 ]; then
+  echo "FAIL: restarted server replayed no runs (replayedRuns=$replayed)" >&2
+  exit 1
+fi
+echo "durable: restarted, replayed $replayed runs"
+
+# The mid-flight long job never reached a terminal state, so it must be
+# gone. Checked before any new traffic: fresh submissions (every
+# /v1/estimate runs through the job path) may legitimately reuse ids
+# that were live-but-unfinished at the kill.
+if curl -fsS "$DURBASE/v1/jobs/$dlong" >/dev/null 2>&1; then
+  echo "FAIL: mid-flight job $dlong resurrected after kill -9" >&2
+  exit 1
+fi
+
+# The same requests must come back bit-identical to the pre-kill bodies —
+# and therefore to the goldens asserted earlier.
+dur_sync2=$(curl -fsS "$DURBASE/v1/estimate" -d "$req")
+dur_prec2=$(curl -fsS "$DURBASE/v1/estimate" -d "$preq")
+if [ "$(jq -r .Matches <<<"$dur_sync2")" != "$GOLDEN_MATCHES" ] ||
+   [ "$(jq -c .Counts <<<"$dur_sync2")" != "$GOLDEN_COUNTS" ]; then
+  echo "FAIL: replayed estimate drifted from golden: $dur_sync2" >&2
+  exit 1
+fi
+if [ "$(jq -r .Trials <<<"$dur_prec2")" != "$GOLDEN_PREC_TRIALS" ] ||
+   [ "$(jq -r .Matches <<<"$dur_prec2")" != "$GOLDEN_PREC_MATCHES" ]; then
+  echo "FAIL: replayed precision estimate drifted from golden: $dur_prec2" >&2
+  exit 1
+fi
+if [ "$(jq -c 'del(.Stats)' <<<"$dur_prec2")" != "$(jq -c 'del(.Stats)' <<<"$dur_prec_body")" ]; then
+  echo "FAIL: replayed precision body differs from pre-kill body" >&2
+  exit 1
+fi
+
+# Terminal job survives by id with the same result bytes; the mid-flight
+# long job died with the process and must be gone.
+djob2=$(curl -fsS "$DURBASE/v1/jobs/$djob")
+if [ "$(jq -r .state <<<"$djob2")" != done ]; then
+  echo "FAIL: done job $djob lost across restart: $djob2" >&2
+  exit 1
+fi
+dur_job_body2=$(curl -fsS "$DURBASE/v1/jobs/$djob/result")
+if [ "$dur_job_body2" != "$dur_job_body" ]; then
+  echo "FAIL: replayed job result differs from pre-kill bytes" >&2
+  echo "  before: $dur_job_body" >&2
+  echo "  after:  $dur_job_body2" >&2
+  exit 1
+fi
+# The clincher: everything above was served without one fresh solver run.
+dur_stats=$(curl -fsS "$DURBASE/v1/stats")
+estimates=$(jq .estimates <<<"$dur_stats")
+if [ "$estimates" != 0 ]; then
+  echo "FAIL: restarted server recomputed $estimates estimates; replay must compute none" >&2
+  exit 1
+fi
+echo "durable: goldens + job result bit-identical after kill -9, engine ran 0 fresh estimates"
 echo "smoke OK"

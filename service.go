@@ -53,6 +53,17 @@ type (
 	// (ServiceStats.Engine.Dist), populated when the server runs the
 	// "dist" backend against real worker processes.
 	DistNodeStats = service.DistNodeStats
+	// DurabilityOptions configure the persistence layer
+	// (ServiceOptions.Durability): with Dir set, trial-cache runs and
+	// terminal jobs are appended to a CRC-framed log and replayed on
+	// boot, so a restarted service serves warm-cache hits and keeps
+	// finished jobs addressable. Use OpenService to surface replay I/O
+	// errors.
+	DurabilityOptions = service.DurabilityOptions
+	// DurableStats is the persistence layer's counter section
+	// (ServiceStats.Durable, nil for in-memory services): appends, queue
+	// lag, replayed runs/jobs, compactions, fsyncs, file sizes.
+	DurableStats = service.DurableStats
 )
 
 // Job lifecycle states.
@@ -69,3 +80,10 @@ const (
 // algorithm, trials, and seed — whether fetched synchronously or through
 // the jobs API.
 func NewService(opts ServiceOptions) *Service { return service.New(opts) }
+
+// OpenService starts an estimation service like NewService, but surfaces
+// the durable log's replay I/O errors instead of panicking — the right
+// constructor whenever ServiceOptions.Durability is configured. Corrupt
+// or torn log tails are not errors: they are truncated and replayed
+// past, with the dropped bytes counted in ServiceStats.Durable.
+func OpenService(opts ServiceOptions) (*Service, error) { return service.Open(opts) }
