@@ -148,16 +148,7 @@ func CountColorfulContext(ctx context.Context, g *graph.Graph, q *query.Graph, c
 			return 0, Stats{}, err
 		}
 	}
-	s := &solver{
-		ctx:     ctx,
-		tr:      obs.FromContext(ctx),
-		g:       g,
-		colors:  colors,
-		be:      be,
-		alg:     opts.Algorithm,
-		tables:  make(map[*decomp.Block]*engine.Sharded),
-		grouped: make(map[groupKey][]map[uint32][]toEntry),
-	}
+	s := newSolver(ctx, g, colors, be, opts.Algorithm)
 	count := s.run(plan)
 	if err := ctx.Err(); err != nil {
 		return 0, Stats{}, err
@@ -217,19 +208,44 @@ func validate(g *graph.Graph, q *query.Graph, colors []uint8, plan *decomp.Tree)
 	return nil
 }
 
-// solver carries the per-run state: the block result tables and the cached
-// groupings of child tables used by joins.
+// solver carries the per-run state: the block result tables, the cached
+// CSR groupings of child tables used by joins, and one emission batcher
+// per partition (a superstep's produce task has exclusive use of its
+// partition's batcher, and supersteps never overlap, so the batchers are
+// reused for the whole run without synchronization).
 type solver struct {
-	ctx     context.Context
-	tr      *obs.Trace  // nil when the run carries no trace; all methods tolerate nil
-	stop    atomic.Bool // latched ctx cancellation, visible to every worker
-	g       *graph.Graph
-	colors  []uint8
-	be      engine.Backend
-	alg     Algorithm
-	tables  map[*decomp.Block]*engine.Sharded
-	grouped map[groupKey][]map[uint32][]toEntry
-	entries int64
+	ctx      context.Context
+	tr       *obs.Trace  // nil when the run carries no trace; all methods tolerate nil
+	stop     atomic.Bool // latched ctx cancellation, visible to every worker
+	g        *graph.Graph
+	colors   []uint8
+	be       engine.Backend
+	alg      Algorithm
+	tables   map[*decomp.Block]*engine.Sharded
+	grouped  map[groupKey][]*groupedIdx
+	unary    map[*decomp.Block][]*nodeIdx
+	batchers []*engine.Batcher
+	entries  int64
+}
+
+// newSolver assembles the per-run solver state over a ready backend.
+func newSolver(ctx context.Context, g *graph.Graph, colors []uint8, be engine.Backend, alg Algorithm) *solver {
+	s := &solver{
+		ctx:      ctx,
+		tr:       obs.FromContext(ctx),
+		g:        g,
+		colors:   colors,
+		be:       be,
+		alg:      alg,
+		tables:   make(map[*decomp.Block]*engine.Sharded),
+		grouped:  make(map[groupKey][]*groupedIdx),
+		unary:    make(map[*decomp.Block][]*nodeIdx),
+		batchers: make([]*engine.Batcher, be.P()),
+	}
+	for i := range s.batchers {
+		s.batchers[i] = &engine.Batcher{}
+	}
+	return s
 }
 
 func (s *solver) colorOf(v uint32) sig.Sig { return sig.Of(s.colors[v]) }

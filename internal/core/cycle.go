@@ -95,14 +95,15 @@ func (s *solver) solveLeaf(b *decomp.Block) *engine.Sharded {
 		sh := out.Shard(w)
 		var load int64
 		var poll int
-		walk.Shard(w).Iter(func(k table.Key, c uint64) bool {
+		ents := walk.Shard(w).Ents()
+		for i := range ents {
+			e := &ents[i]
 			load++
 			if s.canceled(&poll) {
-				return false
+				break
 			}
-			sh.Add(table.Unary(k.V, k.S), c)
-			return true
-		})
+			sh.Add(table.Unary(e.V(), e.S), e.C)
+		}
 		s.be.AddLoad(w, load)
 	})
 	return s.track(out)
@@ -214,47 +215,69 @@ func (s *solver) makeSplit(b *decomp.Block, start, end int, ordered bool) split 
 // mappings — into out for 1/2-boundary blocks, or summed into partial for
 // a root cycle. Both tables are homed at the owner of V, so the join
 // itself is local; only the output entries travel.
+//
+// Both flat shards are sorted by the packed (V,U) word, so the join is a
+// sorted merge: advance two cursors to each common (U,V) group and cross
+// the groups' contiguous entry runs — no per-split hash index, and the
+// signature filter scans adjacent memory on both sides.
 func (s *solver) joinSplit(b *decomp.Block, sp split, plus, minus *engine.Sharded, out *engine.Sharded, partial []uint64) {
-	type mEntry struct {
-		k table.Key
-		c uint64
-	}
-	produce := func(w int, emit func(int, engine.Msg)) {
-		idx := make(map[uint64][]mEntry)
-		minus.Shard(w).Iter(func(k table.Key, c uint64) bool {
-			uv := uint64(k.U)<<32 | uint64(k.V)
-			idx[uv] = append(idx[uv], mEntry{k: k, c: c})
-			return true
-		})
+	produce := func(w int, emit engine.Emit) {
+		eb := s.batchers[w].Bind(emit)
+		defer eb.Flush()
+		pe := plus.Shard(w).Ents()
+		me := minus.Shard(w).Ents()
 		var load int64
 		var poll int
 		var sum uint64
-		plus.Shard(w).Iter(func(kp table.Key, cp uint64) bool {
-			need := s.colorOf(kp.U).Union(s.colorOf(kp.V))
-			for _, e := range idx[uint64(kp.U)<<32|uint64(kp.V)] {
-				load++
-				if s.canceled(&poll) {
-					return false
-				}
-				if kp.S.Inter(e.k.S) != need {
-					continue
-				}
-				total := cp * e.c
-				comb := kp.S.Union(e.k.S)
-				switch len(b.Boundary) {
-				case 0:
-					sum += total
-				case 1:
-					va := vertexAt(sp.locs[0], kp, e.k)
-					emit(s.be.Owner(va), engine.Msg{K: table.Unary(va, comb), C: total})
-				case 2:
-					va := vertexAt(sp.locs[0], kp, e.k)
-					vb := vertexAt(sp.locs[1], kp, e.k)
-					emit(s.be.Owner(vb), engine.Msg{K: table.Binary(va, vb, comb), C: total})
+		i, j := 0, 0
+		for i < len(pe) && j < len(me) {
+			uv := pe[i].VU
+			if uv < me[j].VU {
+				i++
+				continue
+			}
+			if me[j].VU < uv {
+				j++
+				continue
+			}
+			i2 := i + 1
+			for i2 < len(pe) && pe[i2].VU == uv {
+				i2++
+			}
+			j2 := j + 1
+			for j2 < len(me) && me[j2].VU == uv {
+				j2++
+			}
+			need := s.colorOf(uint32(uv)).Union(s.colorOf(uint32(uv >> 32)))
+			for a := i; a < i2; a++ {
+				kp := &pe[a]
+				for m := j; m < j2; m++ {
+					load++
+					if s.canceled(&poll) {
+						goto done
+					}
+					e := &me[m]
+					if kp.S.Inter(e.S) != need {
+						continue
+					}
+					total := kp.C * e.C
+					comb := kp.S.Union(e.S)
+					switch len(b.Boundary) {
+					case 0:
+						sum += total
+					case 1:
+						va := vertexAt(sp.locs[0], kp, e)
+						eb.Emit(s.be.Owner(va), engine.Msg{K: table.Unary(va, comb), C: total})
+					case 2:
+						va := vertexAt(sp.locs[0], kp, e)
+						vb := vertexAt(sp.locs[1], kp, e)
+						eb.Emit(s.be.Owner(vb), engine.Msg{K: table.Binary(va, vb, comb), C: total})
+					}
 				}
 			}
-			return true
-		})
+			i, j = i2, j2
+		}
+	done:
 		s.be.AddLoad(w, load)
 		if partial != nil {
 			partial[w] += sum
@@ -268,28 +291,28 @@ func (s *solver) joinSplit(b *decomp.Block, sp split, plus, minus *engine.Sharde
 	// Root cycle (no boundary): every product folds into the local partial
 	// sum, so nothing is ever emitted — run the join without a superstep.
 	s.be.Run(func(w int) {
-		produce(w, func(int, engine.Msg) {
+		produce(w, func(int, []engine.Msg) {
 			panic("core: root-cycle join emitted an entry")
 		})
 	})
 }
 
 // vertexAt extracts a boundary node's mapped vertex from the joined pair of
-// keys according to its resolved location.
-func vertexAt(loc bndLoc, plus, minus table.Key) uint32 {
+// flat entries according to its resolved location.
+func vertexAt(loc bndLoc, plus, minus *table.Ent) uint32 {
 	switch loc {
 	case locStart:
-		return plus.U
+		return plus.U()
 	case locEnd:
-		return plus.V
+		return plus.V()
 	case locPlusX:
-		return plus.X
+		return plus.X()
 	case locPlusY:
-		return plus.Y
+		return plus.Y()
 	case locMinusX:
-		return minus.X
+		return minus.X()
 	case locMinusY:
-		return minus.Y
+		return minus.Y()
 	}
 	panic(fmt.Sprintf("core: invalid boundary location %d", loc))
 }

@@ -14,6 +14,12 @@ import (
 // operations (§5.2 Figure 7). Keys are (U=π(start), V=π(current end)) with
 // optional recorded boundary mappings in X/Y (the §5.1 configurations), and
 // entries live at the owner of V, as in the paper's engine (§7).
+//
+// The joins run over the flat signature-major layout (table.Flat): each
+// shard's entries are one dense slice grouped by the home vertex V, so an
+// inner loop is a linear scan, the child side is probed through a
+// CSR-style index (groupedIdx/nodeIdx) instead of a hash map, and
+// emissions are coalesced into per-destination runs by an engine.Batcher.
 
 // pathStep extends the walk by one cycle node.
 type pathStep struct {
@@ -75,7 +81,9 @@ func (s *solver) initEdge(spec pathSpec, st pathStep) *engine.Sharded {
 	out := engine.NewSharded(s.be)
 	defer s.tr.Start(PhasePathJoin)()
 	if st.edgeAnn == nil {
-		s.be.Step(out, func(w int, emit func(int, engine.Msg)) {
+		s.be.Step(out, func(w int, emit engine.Emit) {
+			eb := s.batchers[w].Bind(emit)
+			defer eb.Flush()
 			lo, hi := s.be.Range(w)
 			var load int64
 			var poll int
@@ -98,7 +106,7 @@ func (s *solver) initEdge(spec pathSpec, st pathStep) *engine.Sharded {
 					}
 					k := table.Binary(u, v, sig.Of(cu).Add(s.colors[v]))
 					applyRecord(&k, st.record, v)
-					emit(s.be.Owner(v), engine.Msg{K: k, C: 1})
+					eb.Emit(s.be.Owner(v), engine.Msg{K: k, C: 1})
 				}
 			}
 			s.be.AddLoad(w, load)
@@ -106,26 +114,29 @@ func (s *solver) initEdge(spec pathSpec, st pathStep) *engine.Sharded {
 		return s.track(out)
 	}
 	child := s.tables[st.edgeAnn]
-	s.be.Step(out, func(w int, emit func(int, engine.Msg)) {
+	s.be.Step(out, func(w int, emit engine.Emit) {
+		eb := s.batchers[w].Bind(emit)
+		defer eb.Flush()
 		var load int64
 		var poll int
-		child.Shard(w).Iter(func(k table.Key, c uint64) bool {
+		ents := child.Shard(w).Ents()
+		for i := range ents {
+			e := &ents[i]
 			load++
 			if s.canceled(&poll) {
-				return false
+				break
 			}
-			from, to := k.U, k.V
+			from, to := e.U(), e.V()
 			if !st.edgeFromFirst {
 				from, to = to, from
 			}
 			if spec.ordered && !s.g.Higher(from, to) {
-				return true
+				continue
 			}
-			nk := table.Binary(from, to, k.S)
+			nk := table.Binary(from, to, e.S)
 			applyRecord(&nk, st.record, to)
-			emit(s.be.Owner(to), engine.Msg{K: nk, C: c})
-			return true
-		})
+			eb.Emit(s.be.Owner(to), engine.Msg{K: nk, C: e.C})
+		}
 		s.be.AddLoad(w, load)
 	})
 	return s.track(out)
@@ -138,10 +149,11 @@ func (s *solver) lift(child *engine.Sharded) *engine.Sharded {
 	defer s.tr.Start(PhasePathJoin)()
 	s.be.Run(func(w int) {
 		sh := out.Shard(w)
-		child.Shard(w).Iter(func(k table.Key, c uint64) bool {
-			sh.Add(table.Binary(k.U, k.U, k.S), c)
-			return true
-		})
+		ents := child.Shard(w).Ents()
+		for i := range ents {
+			e := &ents[i]
+			sh.Add(table.Binary(e.U(), e.U(), e.S), e.C)
+		}
 	})
 	return s.track(out)
 }
@@ -155,58 +167,71 @@ func (s *solver) edgeJoin(cur *engine.Sharded, spec pathSpec, st pathStep) *engi
 	out := engine.NewSharded(s.be)
 	if st.edgeAnn == nil {
 		defer s.tr.Start(PhasePathJoin)()
-		s.be.Step(out, func(w int, emit func(int, engine.Msg)) {
+		s.be.Step(out, func(w int, emit engine.Emit) {
+			eb := s.batchers[w].Bind(emit)
+			defer eb.Flush()
 			var load int64
 			var poll int
-			cur.Shard(w).Iter(func(k table.Key, c uint64) bool {
-				for _, nb := range s.g.Neighbors(k.V) {
+			ents := cur.Shard(w).Ents()
+		scan:
+			for i := range ents {
+				k := &ents[i]
+				u, v := k.U(), k.V()
+				for _, nb := range s.g.Neighbors(v) {
 					load++
 					if s.canceled(&poll) {
-						return false
+						break scan
 					}
-					if spec.ordered && !s.g.Higher(k.U, nb) {
+					if spec.ordered && !s.g.Higher(u, nb) {
 						continue
 					}
 					cn := s.colorOf(nb)
 					if !k.S.Disjoint(cn) {
 						continue
 					}
-					nk := table.Key{U: k.U, V: nb, X: k.X, Y: k.Y, S: k.S.Union(cn)}
+					nk := table.Key{U: u, V: nb, X: k.X(), Y: k.Y(), S: k.S.Union(cn)}
 					applyRecord(&nk, st.record, nb)
-					emit(s.be.Owner(nb), engine.Msg{K: nk, C: c})
+					eb.Emit(s.be.Owner(nb), engine.Msg{K: nk, C: k.C})
 				}
-				return true
-			})
+			}
 			s.be.AddLoad(w, load)
 		})
 		return s.track(out)
 	}
-	// groupBinary runs (and traces) its own superstep; span only ours.
+	// groupBinary runs (and traces) its own supersteps; span only ours.
 	grouped := s.groupBinary(st.edgeAnn, st.edgeFromFirst)
 	defer s.tr.Start(PhasePathJoin)()
-	s.be.Step(out, func(w int, emit func(int, engine.Msg)) {
+	s.be.Step(out, func(w int, emit engine.Emit) {
+		eb := s.batchers[w].Bind(emit)
+		defer eb.Flush()
 		var load int64
 		var poll int
 		idx := grouped[w]
-		cur.Shard(w).Iter(func(k table.Key, c uint64) bool {
-			for _, e := range idx[k.V] {
+		ents := cur.Shard(w).Ents()
+	scan:
+		for i := range ents {
+			k := &ents[i]
+			u, v := k.U(), k.V()
+			cv := s.colorOf(v)
+			row := idx.at(v)
+			for j := range row {
 				load++
 				if s.canceled(&poll) {
-					return false
+					break scan
 				}
-				if spec.ordered && !s.g.Higher(k.U, e.to) {
+				e := &row[j]
+				if spec.ordered && !s.g.Higher(u, e.to) {
 					continue
 				}
 				// The walk and the child share exactly the query node at v.
-				if k.S.Inter(e.s) != s.colorOf(k.V) {
+				if k.S.Inter(e.s) != cv {
 					continue
 				}
-				nk := table.Key{U: k.U, V: e.to, X: k.X, Y: k.Y, S: k.S.Union(e.s)}
+				nk := table.Key{U: u, V: e.to, X: k.X(), Y: k.Y(), S: k.S.Union(e.s)}
 				applyRecord(&nk, st.record, e.to)
-				emit(s.be.Owner(e.to), engine.Msg{K: nk, C: c * e.c})
+				eb.Emit(s.be.Owner(e.to), engine.Msg{K: nk, C: k.C * e.c})
 			}
-			return true
-		})
+		}
 		s.be.AddLoad(w, load)
 	})
 	return s.track(out)
@@ -214,33 +239,37 @@ func (s *solver) edgeJoin(cur *engine.Sharded, spec pathSpec, st pathStep) *engi
 
 // nodeJoin folds a unary child table into the walk at its current end node
 // (Figure 7 NodeJoin). Both tables are homed at the owner of v, so the join
-// is communication-free.
+// is communication-free. The child index is built once per block by
+// groupUnary and reused across every split that folds the same annotation.
 func (s *solver) nodeJoin(cur *engine.Sharded, ann *decomp.Block) *engine.Sharded {
 	out := engine.NewSharded(s.be)
-	child := s.tables[ann]
+	// groupUnary runs (and traces) its own superstep; span only ours.
+	grouped := s.groupUnary(ann)
 	defer s.tr.Start(PhasePathJoin)()
 	s.be.Run(func(w int) {
-		idx := make(map[uint32][]sigCount)
-		child.Shard(w).Iter(func(k table.Key, c uint64) bool {
-			idx[k.U] = append(idx[k.U], sigCount{s: k.S, c: c})
-			return true
-		})
+		idx := grouped[w]
 		var load int64
 		var poll int
 		sh := out.Shard(w)
-		cur.Shard(w).Iter(func(k table.Key, c uint64) bool {
-			for _, e := range idx[k.V] {
+		ents := cur.Shard(w).Ents()
+	scan:
+		for i := range ents {
+			k := &ents[i]
+			v := k.V()
+			cv := s.colorOf(v)
+			row := idx.at(v)
+			for j := range row {
 				load++
 				if s.canceled(&poll) {
-					return false
+					break scan
 				}
-				if k.S.Inter(e.s) != s.colorOf(k.V) {
+				e := &row[j]
+				if k.S.Inter(e.s) != cv {
 					continue
 				}
-				sh.Add(table.Key{U: k.U, V: k.V, X: k.X, Y: k.Y, S: k.S.Union(e.s)}, c*e.c)
+				sh.Add(table.Key{U: k.U(), V: v, X: k.X(), Y: k.Y(), S: k.S.Union(e.s)}, k.C*e.c)
 			}
-			return true
-		})
+		}
 		s.be.AddLoad(w, load)
 	})
 	return s.track(out)
@@ -262,42 +291,138 @@ type groupKey struct {
 	fromFirst bool
 }
 
+// groupedIdx indexes one partition's share of a regrouped binary child
+// table by the "from" endpoint, CSR-style: the entries whose from-vertex
+// is v occupy ents[rows[v-lo] : rows[v-lo+1]]. Row lookup is two loads —
+// no hashing, no map — and a vertex's entries are contiguous.
+type groupedIdx struct {
+	lo   uint32
+	rows []int32 // len = partition size + 1
+	ents []toEntry
+}
+
+// at returns the entries indexed under vertex v, which must lie in the
+// partition's vertex range.
+func (ix *groupedIdx) at(v uint32) []toEntry {
+	i := v - ix.lo
+	return ix.ents[ix.rows[i]:ix.rows[i+1]]
+}
+
+// nodeIdx is groupedIdx for a unary child table: entries carry only
+// (signature, count), indexed by the single boundary vertex U.
+type nodeIdx struct {
+	lo   uint32
+	rows []int32
+	ents []sigCount
+}
+
+func (ix *nodeIdx) at(v uint32) []sigCount {
+	i := v - ix.lo
+	return ix.ents[ix.rows[i]:ix.rows[i+1]]
+}
+
 // groupBinary redistributes a child block's binary table so every entry is
 // indexed, at the owner of its "from" endpoint, by that endpoint — the
 // paper's "communication to bring the two entries to a common processor"
-// (§7). Deliver hands each reoriented entry straight to the destination
-// partition's index (no intermediate table); index list order may vary
-// under the parallel backend, but joins only sum over the lists, so
-// counts cannot. Results are cached per (block, orientation): the DB
-// solver reuses them across its L splits.
-func (s *solver) groupBinary(b *decomp.Block, fromFirst bool) []map[uint32][]toEntry {
+// (§7). Deliver collects each partition's reoriented entries, then a local
+// counting sort lays them out as a CSR index (entry order within one
+// vertex may vary under the parallel backend, but joins only sum over a
+// row, so counts cannot). Results are cached per (block, orientation): the
+// DB solver reuses them across its L splits.
+func (s *solver) groupBinary(b *decomp.Block, fromFirst bool) []*groupedIdx {
 	key := groupKey{block: b, fromFirst: fromFirst}
 	if g, ok := s.grouped[key]; ok {
 		return g
 	}
 	child := s.tables[b]
-	g := make([]map[uint32][]toEntry, s.be.P())
-	for i := range g {
-		g[i] = make(map[uint32][]toEntry)
-	}
-	defer s.tr.Start(PhaseTableMerge)()
-	s.be.Deliver(func(w int, emit func(int, engine.Msg)) {
+	raw := make([][]toEntry, s.be.P())
+	fromOf := make([][]uint32, s.be.P())
+	end := s.tr.Start(PhaseTableMerge)
+	s.be.Deliver(func(w int, emit engine.Emit) {
+		eb := s.batchers[w].Bind(emit)
+		defer eb.Flush()
 		var poll int
-		child.Shard(w).Iter(func(k table.Key, c uint64) bool {
+		ents := child.Shard(w).Ents()
+		for i := range ents {
+			e := &ents[i]
 			if s.canceled(&poll) {
-				return false
+				break
 			}
-			from, to := k.U, k.V
+			from, to := e.U(), e.V()
 			if !fromFirst {
 				from, to = to, from
 			}
-			emit(s.be.Owner(from), engine.Msg{K: table.Binary(from, to, k.S), C: c})
-			return true
-		})
-	}, func(w int, m engine.Msg) {
-		g[w][m.K.U] = append(g[w][m.K.U], toEntry{to: m.K.V, s: m.K.S, c: m.C})
+			eb.Emit(s.be.Owner(from), engine.Msg{K: table.Binary(from, to, e.S), C: e.C})
+		}
+	}, func(w int, run []engine.Msg) {
+		for i := range run {
+			raw[w] = append(raw[w], toEntry{to: run[i].K.V, s: run[i].K.S, c: run[i].C})
+			fromOf[w] = append(fromOf[w], run[i].K.U)
+		}
+	})
+	end()
+	g := make([]*groupedIdx, s.be.P())
+	defer s.tr.Start(PhaseTableMerge)()
+	s.be.Run(func(w int) {
+		lo, hi := s.be.Range(w)
+		n := int(hi) - int(lo)
+		if n < 0 {
+			n = 0
+		}
+		ix := &groupedIdx{lo: lo, rows: make([]int32, n+1), ents: make([]toEntry, len(raw[w]))}
+		// Counting sort by from-vertex: histogram, prefix-sum, place.
+		for _, f := range fromOf[w] {
+			ix.rows[f-lo+1]++
+		}
+		for i := 1; i <= n; i++ {
+			ix.rows[i] += ix.rows[i-1]
+		}
+		next := make([]int32, n)
+		for i, f := range fromOf[w] {
+			r := f - lo
+			ix.ents[ix.rows[r]+next[r]] = raw[w][i]
+			next[r]++
+		}
+		raw[w], fromOf[w] = nil, nil
+		g[w] = ix
 	})
 	s.grouped[key] = g
+	return g
+}
+
+// groupUnary builds (and caches) the CSR index of a unary child table used
+// by nodeJoin: entries are already homed at the owner of their boundary
+// vertex U and the flat shards keep them sorted by U, so the index is a
+// single linear walk per partition — no redistribution superstep, no sort.
+// The cache is released by dropGroups when the block's parent is solved.
+func (s *solver) groupUnary(b *decomp.Block) []*nodeIdx {
+	if g, ok := s.unary[b]; ok {
+		return g
+	}
+	child := s.tables[b]
+	g := make([]*nodeIdx, s.be.P())
+	defer s.tr.Start(PhaseTableMerge)()
+	s.be.Run(func(w int) {
+		lo, hi := s.be.Range(w)
+		n := int(hi) - int(lo)
+		if n < 0 {
+			n = 0
+		}
+		ents := child.Shard(w).Ents()
+		ix := &nodeIdx{lo: lo, rows: make([]int32, n+1), ents: make([]sigCount, len(ents))}
+		j := 0
+		for r := 0; r < n; r++ {
+			ix.rows[r] = int32(j)
+			u := lo + uint32(r)
+			for j < len(ents) && ents[j].U() == u {
+				ix.ents[j] = sigCount{s: ents[j].S, c: ents[j].C}
+				j++
+			}
+		}
+		ix.rows[n] = int32(j)
+		g[w] = ix
+	})
+	s.unary[b] = g
 	return g
 }
 
@@ -305,4 +430,5 @@ func (s *solver) groupBinary(b *decomp.Block, fromFirst bool) []map[uint32][]toE
 func (s *solver) dropGroups(b *decomp.Block) {
 	delete(s.grouped, groupKey{block: b, fromFirst: true})
 	delete(s.grouped, groupKey{block: b, fromFirst: false})
+	delete(s.unary, b)
 }

@@ -7,7 +7,6 @@ import (
 	"repro/internal/decomp"
 	"repro/internal/engine"
 	"repro/internal/graph"
-	"repro/internal/obs"
 	"repro/internal/query"
 	"repro/internal/table"
 )
@@ -70,16 +69,7 @@ func CountColorfulPerVertexContext(ctx context.Context, g *graph.Graph, q *query
 			return nil, 0, Stats{}, err
 		}
 	}
-	s := &solver{
-		ctx:     ctx,
-		tr:      obs.FromContext(ctx),
-		g:       g,
-		colors:  colors,
-		be:      be,
-		alg:     opts.Algorithm,
-		tables:  make(map[*decomp.Block]*engine.Sharded),
-		grouped: make(map[groupKey][]map[uint32][]toEntry),
-	}
+	s := newSolver(ctx, g, colors, be, opts.Algorithm)
 	per := s.runPerVertex(plan, anchor)
 	if err := ctx.Err(); err != nil {
 		return nil, 0, Stats{}, err

@@ -62,12 +62,12 @@ func (d *Coord) Run(func(w int)) {}
 // finished producing (and therefore sent) this superstep's batches. The
 // out table stays untouched — no partition is owned here. A failed job
 // returns immediately; the failure surfaces in Reduce.
-func (d *Coord) Step(out *engine.Sharded, produce func(w int, emit func(dst int, m engine.Msg))) {
+func (d *Coord) Step(out *engine.Sharded, produce func(w int, emit engine.Emit)) {
 	_ = d.job.barrier(d.steps.Add(1))
 }
 
 // Deliver is Step with a custom consumer; neither runs locally.
-func (d *Coord) Deliver(produce func(w int, emit func(dst int, m engine.Msg)), consume func(dst int, m engine.Msg)) {
+func (d *Coord) Deliver(produce func(w int, emit engine.Emit), consume func(dst int, run []engine.Msg)) {
 	_ = d.job.barrier(d.steps.Add(1))
 }
 

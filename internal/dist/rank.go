@@ -111,44 +111,49 @@ func (r *rank) Run(f func(w int)) {
 
 // Step runs the produce phase over owned partitions, exchanges remote
 // batches at the barrier, and merges incoming counts into out.
-func (r *rank) Step(out *engine.Sharded, produce func(w int, emit func(dst int, m engine.Msg))) {
+func (r *rank) Step(out *engine.Sharded, produce func(w int, emit engine.Emit)) {
 	st := r.steps.Add(1)
-	bufs := r.produceLocal(st, produce, func(dst int, m engine.Msg) {
-		out.Shard(dst).Add(m.K, m.C)
-	})
-	r.exchange(st, bufs, func(dst int, m engine.Msg) {
-		out.Shard(dst).Add(m.K, m.C)
-	})
+	merge := func(dst int, run []engine.Msg) {
+		sh := out.Shard(dst)
+		for i := range run {
+			sh.Add(run[i].K, run[i].C)
+		}
+	}
+	bufs := r.produceLocal(st, produce, merge)
+	r.exchange(st, bufs, merge)
 }
 
 // Deliver is Step with a custom consumer instead of a table merge.
-func (r *rank) Deliver(produce func(w int, emit func(dst int, m engine.Msg)), consume func(dst int, m engine.Msg)) {
+func (r *rank) Deliver(produce func(w int, emit engine.Emit), consume func(dst int, run []engine.Msg)) {
 	st := r.steps.Add(1)
 	bufs := r.produceLocal(st, produce, consume)
 	r.exchange(st, bufs, consume)
 }
 
-// produceLocal runs produce over owned partitions. Local-destination emits
-// are applied immediately under the destination partition's lock (the
-// consume contract — never concurrent for one dst — holds because apply
-// of remote batches is strictly after all local production). Remote emits
-// are buffered per destination rank.
-func (r *rank) produceLocal(st int64, produce func(w int, emit func(dst int, m engine.Msg)), local func(dst int, m engine.Msg)) [][]wireMsg {
+// produceLocal runs produce over owned partitions. Runs emitted to local
+// destinations are applied immediately under the destination partition's
+// lock, taken once per run (the consume contract — never concurrent for
+// one dst — holds because apply of remote batches is strictly after all
+// local production). Runs emitted to remote destinations are buffered
+// into the per-destination-rank wire batch under one lock acquisition.
+func (r *rank) produceLocal(st int64, produce func(w int, emit engine.Emit), local func(dst int, run []engine.Msg)) [][]wireMsg {
 	bufs := make([][]wireMsg, r.t.ranks)
 	bufMu := make([]sync.Mutex, r.t.ranks)
 	r.Run(func(w int) {
-		produce(w, func(dst int, m engine.Msg) {
+		produce(w, func(dst int, run []engine.Msg) {
 			dr := r.t.rankOf(dst)
 			if dr == r.rank {
 				mu := &r.locks[dst-r.pLo]
 				mu.Lock()
-				local(dst, m)
+				local(dst, run)
 				mu.Unlock()
 				return
 			}
-			r.msgs.Add(1)
+			r.msgs.Add(int64(len(run)))
 			bufMu[dr].Lock()
-			bufs[dr] = append(bufs[dr], wireMsg{Dst: int32(dst), K: m.K, C: m.C})
+			for i := range run {
+				bufs[dr] = append(bufs[dr], wireMsg{Dst: int32(dst), K: run[i].K, C: run[i].C})
+			}
 			bufMu[dr].Unlock()
 		})
 	})
@@ -158,10 +163,12 @@ func (r *rank) produceLocal(st int64, produce func(w int, emit func(dst int, m e
 // exchange sends one batch per other rank (empty included — the batch is
 // the barrier token), signals StepDone to the coordinator, then awaits
 // the other ranks' batches for this superstep and applies them
-// single-threaded. Any transport failure latches the job failure, which
-// cancels the job context; the solver unwinds at its next poll and the
-// error surfaces in the coordinator's Reduce.
-func (r *rank) exchange(st int64, bufs [][]wireMsg, apply func(dst int, m engine.Msg)) {
+// single-threaded, regrouping consecutive same-destination wire messages
+// into runs over a reusable scratch buffer so the consumer sees the same
+// batched shape local emits have. Any transport failure latches the job
+// failure, which cancels the job context; the solver unwinds at its next
+// poll and the error surfaces in the coordinator's Reduce.
+func (r *rank) exchange(st int64, bufs [][]wireMsg, apply func(dst int, run []engine.Msg)) {
 	for dr := 0; dr < r.t.ranks; dr++ {
 		if dr == r.rank {
 			continue
@@ -186,19 +193,28 @@ func (r *rank) exchange(st int64, bufs [][]wireMsg, apply func(dst int, m engine
 	if err != nil {
 		return // already latched
 	}
+	var scratch []engine.Msg
 	for _, p := range payloads {
 		var bm batchMsg
 		if err := decodePayload(p, &bm); err != nil {
 			r.j.fail(fmt.Errorf("dist: bad step batch: %w", err))
 			return
 		}
-		for _, m := range bm.Msgs {
-			dst := int(m.Dst)
+		msgs := bm.Msgs
+		for i := 0; i < len(msgs); {
+			dst := int(msgs[i].Dst)
 			if dst < r.pLo || dst >= r.pHi {
 				r.j.fail(fmt.Errorf("dist: received count for partition %d outside owned [%d,%d)", dst, r.pLo, r.pHi))
 				return
 			}
-			apply(dst, engine.Msg{K: m.K, C: m.C})
+			scratch = scratch[:0]
+			j := i
+			for j < len(msgs) && int(msgs[j].Dst) == dst {
+				scratch = append(scratch, engine.Msg{K: msgs[j].K, C: msgs[j].C})
+				j++
+			}
+			apply(dst, scratch)
+			i = j
 		}
 	}
 }

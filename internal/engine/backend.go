@@ -68,20 +68,23 @@ type Backend interface {
 	// shards, partial slots indexed by w) for the duration of its call.
 	Run(f func(w int))
 	// Step runs one superstep: produce runs for every owned partition and
-	// emits keyed counts addressed to destination partitions; when Step
-	// returns, every count emitted by this process has been accumulated
-	// into out's destination shard (locally owned destinations) or handed
-	// to the owning process (remote destinations), and every count
-	// addressed to a locally owned partition — by any process — has been
-	// merged. The emit closure is only valid during the call and only
-	// from the task that received it.
-	Step(out *Sharded, produce func(w int, emit func(dst int, m Msg)))
-	// Deliver is Step with a custom delivery: each emitted count is handed
+	// emits runs of keyed counts addressed to destination partitions (see
+	// Emit); when Step returns, every count emitted by this process has
+	// been accumulated into out's destination shard (locally owned
+	// destinations) or handed to the owning process (remote destinations),
+	// and every count addressed to a locally owned partition — by any
+	// process — has been merged. The emit closure and the run slices
+	// passed to it are only valid during the call and only from the task
+	// that received it; producers that generate messages one at a time
+	// should coalesce them through a Batcher.
+	Step(out *Sharded, produce func(w int, emit Emit))
+	// Deliver is Step with a custom delivery: each emitted run is handed
 	// to consume at its destination partition instead of being merged into
-	// a table. consume(dst, m) calls for one dst never run concurrently
-	// with each other, so per-partition consumer state needs no locking;
-	// calls for different dsts may run concurrently.
-	Deliver(produce func(w int, emit func(dst int, m Msg)), consume func(dst int, m Msg))
+	// a table. The run slice is only valid during the consume call.
+	// consume(dst, run) calls for one dst never run concurrently with
+	// each other, so per-partition consumer state needs no locking; calls
+	// for different dsts may run concurrently.
+	Deliver(produce func(w int, emit Emit), consume func(dst int, run []Msg))
 	// Reduce combines per-process partial totals into the global total:
 	// single-process backends return local unchanged; the dist
 	// coordinator gathers every rank's contribution and sums. It is

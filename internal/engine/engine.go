@@ -151,22 +151,30 @@ type Msg struct {
 	C uint64
 }
 
+// Emit delivers a run of messages, all addressed to partition dst, from a
+// superstep's produce phase. The run slice is only valid during the call
+// — backends copy or merge its contents before returning — and must not
+// be retained. Batching is the point: a backend pays its per-delivery
+// overhead (a buffer append, a stripe lock, a wire frame) once per run
+// instead of once per message.
+type Emit = func(dst int, run []Msg)
+
 // Exchange runs one superstep: produce runs on every worker and emits
-// messages addressed to destination workers; after a barrier, consume runs
-// on every worker with the concatenation of messages addressed to it (in
-// source-worker order, so the step is deterministic). produce's emit
-// closure is only valid during the call and only from that worker's
-// goroutine.
+// runs of messages addressed to destination workers; after a barrier,
+// consume runs on every worker with the concatenation of messages
+// addressed to it (in source-worker order, so the step is deterministic).
+// produce's emit closure is only valid during the call and only from that
+// worker's goroutine.
 func (c *Cluster) Exchange(
-	produce func(w int, emit func(dst int, m Msg)),
+	produce func(w int, emit Emit),
 	consume func(w int, msgs []Msg),
 ) {
 	c.steps.Add(1)
 	out := make([][][]Msg, c.p)
 	c.Run(func(w int) {
 		bufs := make([][]Msg, c.p)
-		produce(w, func(dst int, m Msg) {
-			bufs[dst] = append(bufs[dst], m)
+		produce(w, func(dst int, run []Msg) {
+			bufs[dst] = append(bufs[dst], run...)
 		})
 		out[w] = bufs
 	})
@@ -189,34 +197,82 @@ func (c *Cluster) Exchange(
 // Step runs one superstep on the sim backend: an Exchange whose consume
 // phase accumulates every delivered message into out. This is the
 // message-faithful realization of the Backend contract.
-func (c *Cluster) Step(out *Sharded, produce func(w int, emit func(dst int, m Msg))) {
+func (c *Cluster) Step(out *Sharded, produce func(w int, emit Emit)) {
 	c.Exchange(produce, out.Accumulate)
 }
 
-// Deliver runs one superstep delivering each message to consume at its
-// destination rank (message-counted, like every sim superstep).
-func (c *Cluster) Deliver(produce func(w int, emit func(dst int, m Msg)), consume func(dst int, m Msg)) {
+// Deliver runs one superstep delivering the messages addressed to each
+// rank to consume as a single run (message-counted, like every sim
+// superstep).
+func (c *Cluster) Deliver(produce func(w int, emit Emit), consume func(dst int, run []Msg)) {
 	c.Exchange(produce, func(w int, msgs []Msg) {
-		for _, m := range msgs {
-			consume(w, m)
-		}
+		consume(w, msgs)
 	})
 }
 
-// Sharded is a projection table distributed over a backend: one
-// open-addressing shard per partition. The solver routes each entry to
-// the shard of the owner of its home vertex (the paper stores (u,v,α) at
-// the owner of v).
+// batchRun is the Batcher's flush threshold. Large enough to amortize the
+// per-run delivery cost (a stripe lock, a buffer append), small enough to
+// stay resident in L1 while a run is being built (256 × 32 B = 8 KiB).
+const batchRun = 256
+
+// Batcher accumulates per-message emissions into destination runs for a
+// backend's batched Emit. Producers that naturally generate messages one
+// at a time wrap emit in a Batcher; messages to the same destination
+// coalesce into one run, and a destination switch or a full buffer
+// flushes. A Batcher is single-task state: use it only inside the
+// produce(w, …) call that Bound it, and Flush before returning. The
+// solver keeps one per partition and rebinds it each superstep, so the
+// steady state allocates nothing.
+type Batcher struct {
+	emit Emit
+	dst  int
+	buf  []Msg
+}
+
+// Bind points the batcher at a superstep's emit and returns it. Any
+// buffered messages from a previous binding must already be flushed.
+func (b *Batcher) Bind(emit Emit) *Batcher {
+	b.emit = emit
+	b.dst = -1
+	if b.buf == nil {
+		b.buf = make([]Msg, 0, batchRun)
+	}
+	return b
+}
+
+// Emit appends m to the current run, flushing first if m's destination
+// differs or the run is full.
+func (b *Batcher) Emit(dst int, m Msg) {
+	if dst != b.dst || len(b.buf) == cap(b.buf) {
+		b.Flush()
+		b.dst = dst
+	}
+	b.buf = append(b.buf, m)
+}
+
+// Flush hands the buffered run to the bound emit and empties the buffer.
+// Must be called before the enclosing produce task returns.
+func (b *Batcher) Flush() {
+	if len(b.buf) > 0 {
+		b.emit(b.dst, b.buf)
+		b.buf = b.buf[:0]
+	}
+}
+
+// Sharded is a projection table distributed over a backend: one flat
+// signature-major shard (table.Flat) per partition. The solver routes
+// each entry to the shard of the owner of its home vertex (the paper
+// stores (u,v,α) at the owner of v).
 type Sharded struct {
 	be     Backend
-	shards []*table.T
+	shards []*table.Flat
 }
 
 // NewSharded returns an empty sharded table on be.
 func NewSharded(be Backend) *Sharded {
-	s := &Sharded{be: be, shards: make([]*table.T, be.P())}
+	s := &Sharded{be: be, shards: make([]*table.Flat, be.P())}
 	for i := range s.shards {
-		s.shards[i] = table.New(16)
+		s.shards[i] = &table.Flat{}
 	}
 	return s
 }
@@ -225,7 +281,7 @@ func NewSharded(be Backend) *Sharded {
 func (s *Sharded) Backend() Backend { return s.be }
 
 // Shard returns worker w's shard.
-func (s *Sharded) Shard(w int) *table.T { return s.shards[w] }
+func (s *Sharded) Shard(w int) *table.Flat { return s.shards[w] }
 
 // Add accumulates directly into worker w's shard (only from w's goroutine,
 // or sequentially).

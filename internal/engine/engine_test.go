@@ -41,10 +41,10 @@ func TestExchangeRoutesAndCounts(t *testing.T) {
 	c := NewCluster(4, 40)
 	got := make([][]Msg, 4)
 	c.Exchange(
-		func(w int, emit func(int, Msg)) {
+		func(w int, emit Emit) {
 			// Every worker sends its id+1 as a count to every worker.
 			for dst := 0; dst < 4; dst++ {
-				emit(dst, Msg{K: table.Unary(uint32(w), sig.Of(0)), C: uint64(w + 1)})
+				emit(dst, []Msg{{K: table.Unary(uint32(w), sig.Of(0)), C: uint64(w + 1)}})
 			}
 		},
 		func(w int, msgs []Msg) { got[w] = append(got[w], msgs...) },
@@ -84,12 +84,12 @@ func TestShardedAccumulate(t *testing.T) {
 	s := NewSharded(c)
 	// Route (v, v) unary entries to their owner via an exchange.
 	c.Exchange(
-		func(w int, emit func(int, Msg)) {
+		func(w int, emit Emit) {
 			if w != 0 {
 				return
 			}
 			for v := 0; v < 40; v++ {
-				emit(c.Owner(uint32(v)), Msg{K: table.Unary(uint32(v), sig.Of(0)), C: 2})
+				emit(c.Owner(uint32(v)), []Msg{{K: table.Unary(uint32(v), sig.Of(0)), C: 2}})
 			}
 		},
 		s.Accumulate,
@@ -122,9 +122,9 @@ func TestQuickExchangeConservation(t *testing.T) {
 		c := NewCluster(p, 100)
 		var consumed atomic.Int64
 		c.Exchange(
-			func(w int, emit func(int, Msg)) {
+			func(w int, emit Emit) {
 				for i := 0; i < fan; i++ {
-					emit((w+i)%p, Msg{K: table.Unary(uint32(i), 0), C: 1})
+					emit((w+i)%p, []Msg{{K: table.Unary(uint32(i), 0), C: 1}})
 				}
 			},
 			func(_ int, msgs []Msg) { consumed.Add(int64(len(msgs))) },

@@ -153,44 +153,54 @@ func (p *Parallel) Run(f func(w int)) {
 	wg.Wait()
 }
 
-// Step runs one superstep with direct shared-table merging: every emit
-// locks the destination partition's stripe and accumulates straight into
-// out's shard. Nothing is buffered, counted, or re-delivered — this is
-// the backend the sim's message machinery exists to simulate.
-func (p *Parallel) Step(out *Sharded, produce func(w int, emit func(dst int, m Msg))) {
+// Step runs one superstep with direct shared-table merging: every emitted
+// run locks the destination partition's stripe once and accumulates its
+// messages straight into out's shard. Nothing is buffered, counted, or
+// re-delivered — this is the backend the sim's message machinery exists
+// to simulate — and batching means the stripe lock is paid per run, not
+// per message.
+func (p *Parallel) Step(out *Sharded, produce func(w int, emit Emit)) {
 	p.steps.Add(1)
 	if p.workers == 1 {
 		for w := 0; w < p.parts; w++ {
-			produce(w, func(dst int, m Msg) { out.shards[dst].Add(m.K, m.C) })
+			produce(w, func(dst int, run []Msg) {
+				sh := out.shards[dst]
+				for i := range run {
+					sh.Add(run[i].K, run[i].C)
+				}
+			})
 		}
 		return
 	}
 	p.Run(func(w int) {
-		produce(w, func(dst int, m Msg) {
+		produce(w, func(dst int, run []Msg) {
+			sh := out.shards[dst]
 			mu := &p.locks[dst]
 			mu.Lock()
-			out.shards[dst].Add(m.K, m.C)
+			for i := range run {
+				sh.Add(run[i].K, run[i].C)
+			}
 			mu.Unlock()
 		})
 	})
 }
 
-// Deliver runs one superstep handing each emitted count to consume under
+// Deliver runs one superstep handing each emitted run to consume under
 // the destination partition's lock — the same direct, bufferless delivery
 // as Step, with user code instead of a table merge at the receiving end.
-func (p *Parallel) Deliver(produce func(w int, emit func(dst int, m Msg)), consume func(dst int, m Msg)) {
+func (p *Parallel) Deliver(produce func(w int, emit Emit), consume func(dst int, run []Msg)) {
 	p.steps.Add(1)
 	if p.workers == 1 {
 		for w := 0; w < p.parts; w++ {
-			produce(w, func(dst int, m Msg) { consume(dst, m) })
+			produce(w, func(dst int, run []Msg) { consume(dst, run) })
 		}
 		return
 	}
 	p.Run(func(w int) {
-		produce(w, func(dst int, m Msg) {
+		produce(w, func(dst int, run []Msg) {
 			mu := &p.locks[dst]
 			mu.Lock()
-			consume(dst, m)
+			consume(dst, run)
 			mu.Unlock()
 		})
 	})

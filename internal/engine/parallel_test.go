@@ -68,11 +68,11 @@ func TestParallelStepMatchesSimExchange(t *testing.T) {
 		}
 		// Every backend emits the same multiset: each partition w emits the
 		// batches whose index ≡ w mod P, addressed to the key's V owner.
-		produce := func(be Backend) func(w int, emit func(int, Msg)) {
-			return func(w int, emit func(int, Msg)) {
+		produce := func(be Backend) func(w int, emit Emit) {
+			return func(w int, emit Emit) {
 				for i := w; i < len(emissions); i += be.P() {
 					for _, m := range emissions[i] {
-						emit(be.Owner(m.K.V), m)
+						emit(be.Owner(m.K.V), []Msg{m})
 					}
 				}
 			}
@@ -192,15 +192,17 @@ func TestDeliverRoutesEveryEmission(t *testing.T) {
 		for i := range perDst {
 			perDst[i] = make(map[uint32]int)
 		}
-		be.Deliver(func(w int, emit func(int, Msg)) {
+		be.Deliver(func(w int, emit Emit) {
 			lo, hi := be.Range(w)
 			for v := lo; v < hi; v++ {
 				dst := be.Owner(uint32(int(v+7) % be.N()))
-				emit(dst, Msg{K: table.Unary(v, sig.Of(0)), C: uint64(v) + 1})
+				emit(dst, []Msg{{K: table.Unary(v, sig.Of(0)), C: uint64(v) + 1}})
 			}
-		}, func(dst int, m Msg) {
-			sums[dst] += m.C
-			perDst[dst][m.K.U]++
+		}, func(dst int, run []Msg) {
+			for _, m := range run {
+				sums[dst] += m.C
+				perDst[dst][m.K.U]++
+			}
 		})
 		var total uint64
 		seen := 0

@@ -46,6 +46,14 @@ func (s Sig) Contains(t Sig) bool { return s&t == t }
 // Size returns |s|.
 func (s Sig) Size() int { return bits.OnesCount32(uint32(s)) }
 
+// Rank returns s's position along the signature axis of the flat table
+// layout (package table): the dense rank of s among all 2^k signatures
+// over k colors, which for a bitmap encoding is the bitmap value itself.
+// Flat tables order entries that share a vertex by ascending Rank, so
+// consecutive signatures sit adjacent in memory and the join loops scan
+// them as one contiguous run.
+func (s Sig) Rank() uint32 { return uint32(s) }
+
 // Colors returns the colors in s in increasing order, appended to dst.
 func (s Sig) Colors(dst []uint8) []uint8 {
 	for s != 0 {

@@ -2,13 +2,16 @@
 # Benchmark the sgserve stack end to end with cmd/sgload, and gate CI on
 # throughput regressions.
 #
-#   scripts/bench.sh           run, write BENCH_pr8.json, fail if the
+#   scripts/bench.sh           run, write BENCH_pr9.json, fail if the
 #                              serving-path (parallel backend) throughput
 #                              drops more than 25% below
-#                              scripts/bench_baseline.json
+#                              scripts/bench_baseline.json, or if the
+#                              solver-bound parallel run fails to clear
+#                              1.15x the PR8 kernel baseline (the flat
+#                              signature-major layout's win)
 #   scripts/bench.sh -update   run and overwrite the baseline instead
 #
-# Seven runs with identical seeded workloads, merged into one BENCH_pr8.json
+# Seven runs with identical seeded workloads, merged into one BENCH_pr9.json
 # at the repo root:
 #
 #   serving.{parallel,sim}  hit-ratio 0.98 — the cache/registry/jobs hot
@@ -55,7 +58,10 @@ CONC="${BENCH_CONCURRENCY:-32}"
 SOLVER_CONC="${BENCH_SOLVER_CONCURRENCY:-8}"
 SRV_GOMAXPROCS="${BENCH_SERVER_GOMAXPROCS:-4}"
 SRV_WORKERS="${BENCH_SERVER_WORKERS:-4}"
-OUT="BENCH_pr8.json"
+OUT="BENCH_pr9.json"
+# Profiles and other non-JSON outputs land here, never at the repo root
+# (the directory is gitignored; CI uploads it as an artifact).
+ART_DIR="${BENCH_ARTIFACT_DIR:-bench_artifacts}"
 # Floor for the durable serving run, as a fraction of the same-run
 # in-memory serving.parallel throughput. The ISSUE bar is a ≤5% cost for
 # fsync-interval durability; override for noisier machines.
@@ -63,11 +69,19 @@ DURABLE_FLOOR="${BENCH_DURABLE_FLOOR:-0.95}"
 BASELINE="scripts/bench_baseline.json"
 # The solver-bound parallel run doubles as the profiling window: its CPU
 # profile lands here (CI uploads it as an artifact). Empty disables.
-PPROF_OUT="${BENCH_PPROF_OUT:-bench_cpu.pprof}"
+PPROF_OUT="${BENCH_PPROF_OUT:-$ART_DIR/bench_cpu.pprof}"
+# Floor for the solver-bound parallel run: the flat signature-major table
+# layout (PR 9) must hold its ≥15% throughput win over the PR8 hash-table
+# kernel, measured on the same box class that recorded the baseline.
+# Override BENCH_KERNEL_BASELINE when the runner class changes.
+KERNEL_BASELINE_RPS="${BENCH_KERNEL_BASELINE:-600.6}"
+KERNEL_GAIN="${BENCH_KERNEL_GAIN:-1.15}"
 # Threshold: fail when serving throughput < 75% of baseline. Generous on
 # purpose — shared runners are noisy; this catches structural regressions
 # (an accidental global lock, an O(n) scan on the hot path), not jitter.
 DROP_FRACTION=0.75
+
+mkdir -p "$ART_DIR"
 
 go build -o /tmp/sgserve ./cmd/sgserve
 go build -o /tmp/sgload ./cmd/sgload
@@ -243,6 +257,18 @@ if [ "$(jq -n --argjson p "$par" --argjson s "$sim" '$p >= $s')" != "true" ]; th
   # Warn rather than fail: on loaded single-core runners the gap is small
   # enough for scheduling noise to flip individual runs.
   echo "bench: WARNING: parallel backend below sim on this run" >&2
+fi
+
+# Kernel gate: the flat-layout solver must beat the PR8 hash-table kernel
+# by KERNEL_GAIN on the solver-bound parallel mix. An absolute floor (not
+# a same-run ratio) because the thing being priced — per-entry hashing vs
+# dense scans — does not cancel out within one run.
+kernel_floor=$(jq -n --argjson b "$KERNEL_BASELINE_RPS" --argjson g "$KERNEL_GAIN" '$b * $g')
+echo "bench: solver-bound parallel $par req/s vs kernel floor $kernel_floor req/s (${KERNEL_GAIN}x of PR8 baseline $KERNEL_BASELINE_RPS)"
+if [ "$(jq -n --argjson p "$par" --argjson f "$kernel_floor" '$p >= $f')" != "true" ]; then
+  echo "FAIL: solver-bound parallel throughput $par req/s is below ${KERNEL_GAIN}x the PR8 kernel baseline ($KERNEL_BASELINE_RPS req/s)" >&2
+  echo "      the flat signature-major layout lost its win (or the runner class changed — override BENCH_KERNEL_BASELINE)" >&2
+  exit 1
 fi
 
 # Durability tax gate: the WAL appender runs off the hot path, so the
