@@ -18,6 +18,13 @@
 // A target hit ratio h is achieved by drawing, with probability h, a
 // coloring seed from a small hot set (cached after first touch) and
 // otherwise a fresh never-seen seed (a guaranteed miss).
+//
+// Against a cluster (sgserve -peers), -endpoints round-robins every
+// request across the replicas and the report grows a cluster section:
+// per-endpoint throughput plus the cluster-wide forward and cache-hit
+// rates, which is how bench.sh measures serving-tier scaling.
+//
+//	sgload -endpoints 127.0.0.1:8081,127.0.0.1:8082,127.0.0.1:8083 -c 32 -duration 10s
 package main
 
 import (
@@ -40,21 +47,26 @@ import (
 )
 
 type config struct {
-	Addr     string  `json:"addr"`
-	Workers  int     `json:"workers"`
-	Duration string  `json:"duration"`
-	Warmup   string  `json:"warmup"`
-	Graphs   int     `json:"graphs"`
-	GraphN   int     `json:"graphN"`
-	Alpha    float64 `json:"alpha"`
-	Queries  string  `json:"queries"`
-	Trials   int     `json:"trials"`
-	Ranks    int     `json:"ranks"`
-	Backend  string  `json:"backend,omitempty"`
-	HitRatio float64 `json:"hitRatio"`
-	HotSeeds int     `json:"hotSeeds"`
-	Seed     int64   `json:"seed"`
-	Label    string  `json:"label,omitempty"`
+	Addr string `json:"addr"`
+	// Endpoints is the cluster mode: a comma-separated replica list the
+	// workers round-robin over per request, so the load (and the hot key
+	// set) spreads across every entry point the way a real client-side
+	// balancer would spread it. Empty means single-server mode on Addr.
+	Endpoints string  `json:"endpoints,omitempty"`
+	Workers   int     `json:"workers"`
+	Duration  string  `json:"duration"`
+	Warmup    string  `json:"warmup"`
+	Graphs    int     `json:"graphs"`
+	GraphN    int     `json:"graphN"`
+	Alpha     float64 `json:"alpha"`
+	Queries   string  `json:"queries"`
+	Trials    int     `json:"trials"`
+	Ranks     int     `json:"ranks"`
+	Backend   string  `json:"backend,omitempty"`
+	HitRatio  float64 `json:"hitRatio"`
+	HotSeeds  int     `json:"hotSeeds"`
+	Seed      int64   `json:"seed"`
+	Label     string  `json:"label,omitempty"`
 
 	// Precision-targeted traffic. RelErr > 0 sends every request with a
 	// precision object instead of a fixed trial count; PrecisionMix mixes
@@ -124,6 +136,39 @@ type latencySummary struct {
 	P95MS  float64 `json:"p95Ms"`
 	P99MS  float64 `json:"p99Ms"`
 	MaxMS  float64 `json:"maxMs"`
+}
+
+// clusterClientStats is the report's cluster-mode section (-endpoints):
+// per-endpoint client throughput plus the cluster-wide forward and
+// cache-hit rates aggregated from every replica's /v1/stats. It is what
+// bench.sh reads to prove (or refute) serving-tier scaling.
+type clusterClientStats struct {
+	Endpoints []endpointReport `json:"endpoints"`
+	// ForwardRate is forwards / client requests across the cluster: the
+	// fraction of requests that cost an extra proxy hop. With E replicas
+	// and uniform entry choice it converges to (E-1)/E.
+	ForwardRate float64 `json:"forwardRate"`
+	// CacheHitRate aggregates the replicas' own cache counters; in a
+	// healthy cluster it matches the client-observed rate because every
+	// key has exactly one home doing its caching.
+	CacheHitRate    float64 `json:"cacheHitRate"`
+	Forwards        uint64  `json:"forwards"`
+	ForwardErrors   uint64  `json:"forwardErrors"`
+	LocalFallbacks  uint64  `json:"localFallbacks"`
+	ForwardedServed uint64  `json:"forwardedServed"`
+}
+
+// endpointReport is one replica's share of a cluster-mode run.
+type endpointReport struct {
+	Addr          string  `json:"addr"`
+	Requests      uint64  `json:"requests"`
+	ThroughputRPS float64 `json:"throughputRps"`
+	// ServerEstimates is the replica's own /v1/estimate count over its
+	// lifetime (entry + forwarded-in requests), from its /v1/stats.
+	ServerEstimates uint64 `json:"serverEstimates"`
+	Forwards        uint64 `json:"forwards"`
+	ForwardedServed uint64 `json:"forwardedServed"`
+	LocalFallbacks  uint64 `json:"localFallbacks"`
 }
 
 // serverSide is the slice of /v1/stats the report embeds, so a BENCH file
@@ -205,6 +250,15 @@ type serverSide struct {
 		WalBytes      int64  `json:"walBytes"`
 		SnapshotBytes int64  `json:"snapshotBytes"`
 	} `json:"durable,omitempty"`
+	// Cluster mirrors the replica's forwarding counters when the server
+	// runs in cluster mode (sgserve -peers); absent on single nodes.
+	Cluster *struct {
+		Self            string `json:"self"`
+		Forwards        uint64 `json:"forwards"`
+		ForwardErrors   uint64 `json:"forwardErrors"`
+		LocalFallbacks  uint64 `json:"localFallbacks"`
+		ForwardedServed uint64 `json:"forwardedServed"`
+	} `json:"cluster,omitempty"`
 	Estimates uint64 `json:"estimates"`
 }
 
@@ -213,7 +267,10 @@ type serverSide struct {
 // across the measured window (scraped from /metrics before and after)
 // must equal the requests this process actually issued. A mismatch means
 // either the exposition or the load loop is miscounting — both are bugs
-// worth failing a benchmark read over.
+// worth failing a benchmark read over. In cluster mode the scrape sums
+// every endpoint and subtracts the forwarded-request delta: a proxied
+// estimate is counted by both its entry replica and its home, but the
+// client issued it once.
 type metricsCheck struct {
 	ServerRequests uint64 `json:"serverRequests"`
 	ClientRequests uint64 `json:"clientRequests"`
@@ -249,15 +306,22 @@ type report struct {
 	// Metrics is the server-vs-client request-count cross-check scraped
 	// from /metrics (nil when the scrape failed).
 	Metrics *metricsCheck `json:"metricsCheck,omitempty"`
+	// Cluster is the multi-endpoint rollup (nil outside -endpoints runs):
+	// per-replica throughput and cluster-wide forward/cache-hit rates.
+	Cluster *clusterClientStats `json:"cluster,omitempty"`
 }
 
 // worker is one closed-loop client: it owns a private RNG (derived from
 // the global seed and its index, so runs are reproducible at any
 // concurrency) and issues requests back to back until the deadline.
 type worker struct {
-	rng       *rand.Rand
-	client    *http.Client
-	base      string
+	rng    *rand.Rand
+	client *http.Client
+	// bases is the endpoint set; single-server runs have one entry.
+	// Cluster runs pick one per request off the shared round-robin
+	// counter, so every replica sees an equal slice of the identical mix.
+	bases     []string
+	rr        *atomic.Uint64
 	cfg       *config
 	graphs    []string
 	queries   []string
@@ -270,6 +334,8 @@ type worker struct {
 	errors   uint64
 	hits     uint64
 	misses   uint64
+	// perEndpoint counts measured requests by bases index.
+	perEndpoint []uint64
 }
 
 // coldSeed hands out never-repeating coloring seeds far above the hot
@@ -322,8 +388,12 @@ func (w *worker) run(deadline time.Time, record bool) {
 		if err != nil {
 			log.Fatalf("sgload: marshal: %v", err)
 		}
+		idx := 0
+		if len(w.bases) > 1 {
+			idx = int(w.rr.Add(1) % uint64(len(w.bases)))
+		}
 		start := time.Now()
-		resp, err := w.client.Post(w.base+"/v1/estimate", "application/json", bytes.NewReader(body))
+		resp, err := w.client.Post(w.bases[idx]+"/v1/estimate", "application/json", bytes.NewReader(body))
 		elapsed := time.Since(start)
 		if !record {
 			if err == nil {
@@ -332,6 +402,7 @@ func (w *worker) run(deadline time.Time, record bool) {
 			continue
 		}
 		w.requests++
+		w.perEndpoint[idx]++
 		if err != nil {
 			w.errors++
 			continue
@@ -364,6 +435,7 @@ func drain(resp *http.Response) {
 func main() {
 	var cfg config
 	flag.StringVar(&cfg.Addr, "addr", "127.0.0.1:8080", "sgserve address (host:port)")
+	flag.StringVar(&cfg.Endpoints, "endpoints", "", "comma-separated cluster replica addresses, round-robined per request (overrides -addr)")
 	flag.IntVar(&cfg.Workers, "c", 32, "concurrent closed-loop workers")
 	duration := flag.Duration("duration", 10*time.Second, "measured run length")
 	warmup := flag.Duration("warmup", time.Second, "unmeasured warmup before the run")
@@ -397,19 +469,33 @@ func main() {
 		log.Fatalf("sgload: %v", err)
 	}
 
-	base := "http://" + cfg.Addr
+	bases := []string{"http://" + cfg.Addr}
+	if cfg.Endpoints != "" {
+		bases = bases[:0]
+		for _, a := range strings.Split(cfg.Endpoints, ",") {
+			if a = strings.TrimSpace(a); a != "" {
+				bases = append(bases, "http://"+a)
+			}
+		}
+		if len(bases) == 0 {
+			log.Fatal("sgload: -endpoints has no addresses")
+		}
+	}
 	client := &http.Client{
 		Timeout: 30 * time.Second,
 		Transport: &http.Transport{
-			MaxIdleConns:        cfg.Workers + 4,
+			MaxIdleConns:        (cfg.Workers + 4) * len(bases),
 			MaxIdleConnsPerHost: cfg.Workers + 4,
 		},
 	}
 
-	waitHealthy(client, base)
+	for _, base := range bases {
+		waitHealthy(client, base)
+	}
 
-	// Register the graph mix; re-registering is free, so a shared server
-	// (or a retry) is harmless.
+	// Register the graph mix on every endpoint: cluster replicas route by
+	// trial key but load graphs locally, so each needs the specs.
+	// Re-registering is free, so a shared server (or a retry) is harmless.
 	graphs := make([]string, cfg.Graphs)
 	for i := range graphs {
 		graphs[i] = fmt.Sprintf("load%d", i)
@@ -418,15 +504,17 @@ func main() {
 		if err != nil {
 			log.Fatalf("sgload: marshal: %v", err)
 		}
-		resp, err := client.Post(base+"/v1/graphs", "application/json", bytes.NewReader(body))
-		if err != nil {
-			log.Fatalf("sgload: register %s: %v", graphs[i], err)
+		for _, base := range bases {
+			resp, err := client.Post(base+"/v1/graphs", "application/json", bytes.NewReader(body))
+			if err != nil {
+				log.Fatalf("sgload: register %s at %s: %v", graphs[i], base, err)
+			}
+			if resp.StatusCode != http.StatusOK {
+				b, _ := io.ReadAll(resp.Body)
+				log.Fatalf("sgload: register %s at %s: %d: %s", graphs[i], base, resp.StatusCode, b)
+			}
+			drain(resp)
 		}
-		if resp.StatusCode != http.StatusOK {
-			b, _ := io.ReadAll(resp.Body)
-			log.Fatalf("sgload: register %s: %d: %s", graphs[i], resp.StatusCode, b)
-		}
-		drain(resp)
 	}
 
 	queries := strings.Split(cfg.Queries, ",")
@@ -438,18 +526,21 @@ func main() {
 		hot[i] = int64(i + 1)
 	}
 
+	var rr atomic.Uint64
 	workers := make([]*worker, cfg.Workers)
 	for i := range workers {
 		workers[i] = &worker{
-			rng:       rand.New(rand.NewSource(cfg.Seed + int64(i)*7919)),
-			client:    client,
-			base:      base,
-			cfg:       &cfg,
-			graphs:    graphs,
-			queries:   queries,
-			hot:       hot,
-			tiers:     tiers,
-			durations: make([]time.Duration, 0, 1<<16),
+			rng:         rand.New(rand.NewSource(cfg.Seed + int64(i)*7919)),
+			client:      client,
+			bases:       bases,
+			rr:          &rr,
+			cfg:         &cfg,
+			graphs:      graphs,
+			queries:     queries,
+			hot:         hot,
+			tiers:       tiers,
+			durations:   make([]time.Duration, 0, 1<<16),
+			perEndpoint: make([]uint64, len(bases)),
 		}
 	}
 
@@ -474,20 +565,26 @@ func main() {
 	// Scrape /metrics at the two quiet points bracketing the measured
 	// window (workers quiesced, nothing in flight), so the server-side
 	// request-count delta is attributable to exactly the measured phase.
-	before, beforeErr := scrapeEstimateRequests(client, base)
-	log.Printf("sgload: measuring %d workers for %s against %s", cfg.Workers, duration, cfg.Addr)
+	before, fwdBefore, beforeErr := scrapeEstimateRequests(client, bases)
+	log.Printf("sgload: measuring %d workers for %s against %d endpoint(s)", cfg.Workers, duration, len(bases))
 	measured := runPhase(*duration, true)
-	after, afterErr := scrapeEstimateRequests(client, base)
+	after, fwdAfter, afterErr := scrapeEstimateRequests(client, bases)
 
 	rep := summarize(&cfg, workers, measured)
-	rep.Server = fetchServerStats(client, base)
+	rep.Server = fetchServerStats(client, bases[0])
+	if len(bases) > 1 {
+		rep.Cluster = clusterRollup(client, bases, workers, rep.DurationSec)
+	}
 	if beforeErr != nil || afterErr != nil {
 		log.Printf("sgload: metrics scrape failed (before: %v, after: %v) — skipping cross-check", beforeErr, afterErr)
 	} else {
+		// Forwarded estimates are counted by entry and home both; the
+		// forwarded-served delta removes the double count.
+		serverReqs := (after - before) - (fwdAfter - fwdBefore)
 		rep.Metrics = &metricsCheck{
-			ServerRequests: after - before,
+			ServerRequests: serverReqs,
 			ClientRequests: rep.Requests,
-			Match:          after-before == rep.Requests,
+			Match:          serverReqs == rep.Requests,
 		}
 		if !rep.Metrics.Match {
 			log.Printf("sgload: WARNING: server counted %d /v1/estimate requests in the measured window, client issued %d",
@@ -519,6 +616,14 @@ func main() {
 	log.Printf("sgload: %d requests in %.2fs = %.1f req/s (p50 %.2fms, p99 %.2fms, hit rate %.3f, errors %d)",
 		rep.Requests, rep.DurationSec, rep.ThroughputRPS,
 		rep.Latency.P50MS, rep.Latency.P99MS, rep.CacheHitRate, rep.Errors)
+	if rep.Cluster != nil {
+		for _, ep := range rep.Cluster.Endpoints {
+			log.Printf("sgload:   endpoint %s: %d requests = %.1f req/s (forwards %d, forwarded-in %d, fallbacks %d)",
+				ep.Addr, ep.Requests, ep.ThroughputRPS, ep.Forwards, ep.ForwardedServed, ep.LocalFallbacks)
+		}
+		log.Printf("sgload: cluster: forward rate %.3f, server-side hit rate %.3f",
+			rep.Cluster.ForwardRate, rep.Cluster.CacheHitRate)
+	}
 	if p := rep.Server.Precision; p.Requests > 0 {
 		log.Printf("sgload: precision: %d targeted requests, %d early stops, %d trials saved, cache extended %d (rate %.3f)",
 			p.Requests, p.EarlyStops, p.TrialsSaved, rep.Server.Cache.Extended, rep.ExtendedRate)
@@ -599,48 +704,115 @@ func summarize(cfg *config, workers []*worker, measured time.Duration) report {
 	return rep
 }
 
-// scrapeEstimateRequests fetches /metrics and sums the
-// subgraph_requests_total series whose endpoint label is /v1/estimate,
-// across all status codes. Counter values are non-negative integers
-// rendered as floats, so ParseFloat + uint64 truncation is exact. A
-// missing series reads as 0 — legitimate before the first estimate
-// request (families are created lazily); a series missing after the run
-// shows up as a Match failure instead.
-func scrapeEstimateRequests(client *http.Client, base string) (uint64, error) {
+// scrapeEstimateRequests fetches every endpoint's /metrics and sums two
+// families: the subgraph_requests_total series whose endpoint label is
+// /v1/estimate (across all status codes), and the label-less
+// subgraph_cluster_forwarded_served_total counter (0 outside cluster
+// mode) the caller needs to un-double-count proxied requests. Counter
+// values are non-negative integers rendered as floats, so ParseFloat +
+// uint64 truncation is exact. A missing series reads as 0 — legitimate
+// before the first estimate request (families are created lazily); a
+// series missing after the run shows up as a Match failure instead.
+func scrapeEstimateRequests(client *http.Client, bases []string) (estimates, forwardedServed uint64, err error) {
+	for _, base := range bases {
+		e, f, err := scrapeOneEndpoint(client, base)
+		if err != nil {
+			return 0, 0, err
+		}
+		estimates += e
+		forwardedServed += f
+	}
+	return estimates, forwardedServed, nil
+}
+
+func scrapeOneEndpoint(client *http.Client, base string) (estimates, forwardedServed uint64, err error) {
 	resp, err := client.Get(base + "/metrics")
 	if err != nil {
-		return 0, err
+		return 0, 0, err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		return 0, fmt.Errorf("GET /metrics: %s", resp.Status)
+		return 0, 0, fmt.Errorf("GET /metrics: %s", resp.Status)
 	}
-	var total float64
+	var total, forwarded float64
 	sc := bufio.NewScanner(resp.Body)
 	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
 	for sc.Scan() {
 		line := sc.Text()
+		if rest, ok := strings.CutPrefix(line, "subgraph_cluster_forwarded_served_total "); ok {
+			v, err := strconv.ParseFloat(strings.TrimSpace(rest), 64)
+			if err != nil {
+				return 0, 0, fmt.Errorf("bad sample value in %q: %v", line, err)
+			}
+			forwarded += v
+			continue
+		}
 		rest, ok := strings.CutPrefix(line, "subgraph_requests_total{")
 		if !ok {
 			continue
 		}
 		end := strings.IndexByte(rest, '}')
 		if end < 0 {
-			return 0, fmt.Errorf("unterminated label block in %q", line)
+			return 0, 0, fmt.Errorf("unterminated label block in %q", line)
 		}
 		if !strings.Contains(rest[:end], `endpoint="/v1/estimate"`) {
 			continue
 		}
 		v, err := strconv.ParseFloat(strings.TrimSpace(rest[end+1:]), 64)
 		if err != nil {
-			return 0, fmt.Errorf("bad sample value in %q: %v", line, err)
+			return 0, 0, fmt.Errorf("bad sample value in %q: %v", line, err)
 		}
 		total += v
 	}
 	if err := sc.Err(); err != nil {
-		return 0, err
+		return 0, 0, err
 	}
-	return uint64(total), nil
+	return uint64(total), uint64(forwarded), nil
+}
+
+// clusterRollup assembles the report's cluster section: each replica's
+// share of the measured requests (the shared round-robin makes these
+// near-equal by construction — the interesting number is the rate, which
+// shows whether added replicas added capacity) plus the cluster-wide
+// forward and cache-hit rates from the replicas' own counters.
+func clusterRollup(client *http.Client, bases []string, workers []*worker, durationSec float64) *clusterClientStats {
+	cl := &clusterClientStats{}
+	var reqTotal, hits, misses uint64
+	for i, base := range bases {
+		var reqs uint64
+		for _, w := range workers {
+			reqs += w.perEndpoint[i]
+		}
+		reqTotal += reqs
+		st := fetchServerStats(client, base)
+		ep := endpointReport{
+			Addr:            strings.TrimPrefix(base, "http://"),
+			Requests:        reqs,
+			ServerEstimates: st.Estimates,
+		}
+		if durationSec > 0 {
+			ep.ThroughputRPS = float64(reqs) / durationSec
+		}
+		if c := st.Cluster; c != nil {
+			ep.Forwards = c.Forwards
+			ep.ForwardedServed = c.ForwardedServed
+			ep.LocalFallbacks = c.LocalFallbacks
+			cl.Forwards += c.Forwards
+			cl.ForwardErrors += c.ForwardErrors
+			cl.LocalFallbacks += c.LocalFallbacks
+			cl.ForwardedServed += c.ForwardedServed
+		}
+		hits += st.Cache.Hits
+		misses += st.Cache.Misses
+		cl.Endpoints = append(cl.Endpoints, ep)
+	}
+	if reqTotal > 0 {
+		cl.ForwardRate = float64(cl.Forwards) / float64(reqTotal)
+	}
+	if n := hits + misses; n > 0 {
+		cl.CacheHitRate = float64(hits) / float64(n)
+	}
+	return cl
 }
 
 // fetchServerStats embeds the server's own view of the run; the coalesce

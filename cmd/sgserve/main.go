@@ -32,6 +32,20 @@
 //	sgserve -addr :8080 -pprof-addr 127.0.0.1:6060 -log-level debug
 //	go tool pprof http://127.0.0.1:6060/debug/pprof/profile?seconds=10
 //
+// Cluster mode runs N sgserve replicas behind consistent-hash routing
+// on trial streams: every replica accepts every request and proxies the
+// ones another replica owns, so the trial cache and singleflight
+// coalescing become cluster-wide. Start each replica with the same
+// member list:
+//
+//	sgserve -addr :8081 -self 127.0.0.1:8081 -peers 127.0.0.1:8081,127.0.0.1:8082,127.0.0.1:8083
+//	sgserve -addr :8082 -self 127.0.0.1:8082 -peers 127.0.0.1:8081,127.0.0.1:8082,127.0.0.1:8083
+//	sgserve -addr :8083 -self 127.0.0.1:8083 -peers 127.0.0.1:8081,127.0.0.1:8082,127.0.0.1:8083
+//
+// GET /readyz distinguishes readiness from /healthz liveness, and POST
+// /v1/cluster/rebalance ships each key's durable trial runs to its ring
+// home after a membership change.
+//
 // SIGINT/SIGTERM shut down gracefully: in-flight requests finish, the
 // worker pool drains, then the listener closes.
 package main
@@ -51,6 +65,7 @@ import (
 	"time"
 
 	subgraph "repro"
+	"repro/internal/cluster"
 	"repro/internal/dist"
 )
 
@@ -69,6 +84,8 @@ func main() {
 		ranks     = flag.Int("ranks", 4, "default engine ranks (sim) or workers (parallel) per estimate")
 		backend   = flag.String("backend", "", "default execution backend: sim (paper's simulated engine), parallel (shared-memory), or dist (requires -dist-workers); empty = $SUBGRAPH_BACKEND or sim")
 		distAddrs = flag.String("dist-workers", "", "comma-separated sgworker addresses; connecting enables the dist backend (rank order = address order)")
+		selfAddr  = flag.String("self", "", "this replica's advertised address for cluster mode (host:port reachable by peers); requires -peers")
+		peerAddrs = flag.String("peers", "", "comma-separated advertised addresses of every cluster replica (self included or not); enables consistent-hash routing of trial streams across replicas")
 		timeout   = flag.Duration("timeout", 0, "default per-job deadline (0 = none)")
 		jobTTL    = flag.Duration("job-ttl", 10*time.Minute, "how long finished jobs stay fetchable via /v1/jobs")
 		maxJobs   = flag.Int("max-jobs", 4096, "max finished jobs retained before the oldest are dropped")
@@ -133,6 +150,28 @@ func main() {
 		fatal("bad -backend", "err", err)
 	}
 
+	// Cluster mode: build this replica's ring view from the static
+	// membership. Every replica must be started with the same member set
+	// (ownership is a pure function of it); health checks and circuit
+	// breakers only gate forwarding, never ownership.
+	var clusterView *cluster.Cluster
+	if *peerAddrs != "" || *selfAddr != "" {
+		if *selfAddr == "" || *peerAddrs == "" {
+			fatal("cluster mode needs both -self and -peers")
+		}
+		cl, err := cluster.New(cluster.Options{
+			Self:    *selfAddr,
+			Members: splitAddrs(*peerAddrs),
+			Logger:  logger,
+		})
+		if err != nil {
+			fatal("cluster setup failed", "err", err)
+		}
+		defer cl.Close()
+		clusterView = cl
+		logger.Info("cluster membership configured", "self", cl.Self(), "members", cl.Members())
+	}
+
 	// Replay happens inside OpenService, before the listener below binds:
 	// the first request a restarted server accepts already sees the warm
 	// cache and the previous process's finished jobs.
@@ -153,6 +192,7 @@ func main() {
 		MaxJobs:          *maxJobs,
 		Logger:           logger,
 		DistStats:        distStats,
+		Cluster:          clusterView,
 		Durability: subgraph.DurabilityOptions{
 			Dir:          *dataDir,
 			Fsync:        *fsyncPol,

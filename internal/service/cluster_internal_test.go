@@ -1,0 +1,55 @@
+package service
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+// TestReadyzReportsHandoffReplay: /readyz flips to 503 (with Retry-After)
+// exactly while a handoff import replay is in flight, and back to 200
+// when it drains — the signal peers and routers use to stop preferring a
+// replica mid-warm. Driven via the counter directly: the HTTP import path
+// is exercised end to end by the external cluster tests.
+func TestReadyzReportsHandoffReplay(t *testing.T) {
+	s := New(Options{Workers: 1})
+	defer s.Close()
+
+	rec := httptest.NewRecorder()
+	s.handleReadyz(rec, nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("idle /readyz = %d, want 200", rec.Code)
+	}
+
+	s.handoffActive.Add(1)
+	rec = httptest.NewRecorder()
+	s.handleReadyz(rec, nil)
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("/readyz during handoff = %d, want 503", rec.Code)
+	}
+	if got := rec.Header().Get("Retry-After"); got != retryAfterSeconds {
+		t.Errorf("Retry-After = %q, want %q", got, retryAfterSeconds)
+	}
+
+	s.handoffActive.Add(-1)
+	rec = httptest.NewRecorder()
+	s.handleReadyz(rec, nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/readyz after handoff = %d, want 200", rec.Code)
+	}
+}
+
+// TestShedLoad503CarriesRetryAfter: the load-shedding errors are the
+// other 503 source; both must tell clients when to come back.
+func TestShedLoad503CarriesRetryAfter(t *testing.T) {
+	for _, err := range []error{ErrQueueFull, ErrClosed} {
+		rec := httptest.NewRecorder()
+		writeError(rec, err)
+		if rec.Code != http.StatusServiceUnavailable {
+			t.Fatalf("%v → %d, want 503", err, rec.Code)
+		}
+		if got := rec.Header().Get("Retry-After"); got != retryAfterSeconds {
+			t.Errorf("%v: Retry-After = %q, want %q", err, got, retryAfterSeconds)
+		}
+	}
+}

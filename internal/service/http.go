@@ -17,6 +17,10 @@ import (
 // Handler returns the service's HTTP API:
 //
 //	GET    /healthz             liveness probe
+//	GET    /readyz              readiness probe: 503 (with Retry-After) while a
+//	                            handoff replay is importing runs; boot replay
+//	                            happens before the listener binds, so a cold
+//	                            replica reads as connection-refused instead
 //	GET    /metrics             Prometheus text-format exposition: request/trial/
 //	                            phase latency histograms recorded live, plus every
 //	                            /v1/stats counter bridged at scrape time
@@ -44,6 +48,15 @@ import (
 //	GET    /v1/jobs/{id}/result a finished job's estimate (?wait= supported)
 //	DELETE /v1/jobs/{id}        cancel a queued or running job
 //
+// In cluster mode (Options.Cluster set) two peer endpoints appear:
+// POST /v1/cluster/runs receives trial runs handed off by a peer, and
+// POST /v1/cluster/rebalance pushes every locally-held run whose ring
+// home is another replica to that home. Estimate and job submissions
+// whose trial stream belongs to another replica are transparently
+// proxied there (response relayed verbatim, plus an X-Subgraph-Home
+// header); a request carrying the X-Subgraph-Forward loop-guard header
+// is always executed locally.
+//
 // Estimate and job requests accept a "precision" object alongside
 // "trials" (see PrecisionSpec): instead of a fixed trial count the job
 // runs until the declared (relErr, confidence) target is met, reusing and
@@ -59,6 +72,7 @@ import (
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.HandleFunc("POST /v1/graphs", s.handleAddGraph)
@@ -73,6 +87,10 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleJobTrace)
 	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleJobResult)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancelJob)
+	if s.cluster != nil {
+		mux.HandleFunc("POST /v1/cluster/runs", s.handleClusterImport)
+		mux.HandleFunc("POST /v1/cluster/rebalance", s.handleClusterRebalance)
+	}
 	return s.instrument(mux)
 }
 
@@ -183,16 +201,23 @@ type errorBody struct {
 // giving up.
 const StatusClientClosedRequest = 499
 
+// retryAfterSeconds is the Retry-After value every 503 carries: shed
+// load and readiness blips clear in about a second, and the header is
+// what lets a well-behaved client (or a cluster peer) back off instead
+// of hammering a replica that is already saturated.
+const retryAfterSeconds = "1"
+
 // writeError maps service errors to HTTP statuses: full queue → 503 (shed
-// load), deadline → 504, canceled client → 499, a canceled job's result →
-// 410 (the fetcher completed its request; the result is just gone),
-// unknown graph or job → 404, not-yet-finished job result → 409, anything
-// else (malformed specs, bad queries) → 400.
+// load, with a Retry-After header), deadline → 504, canceled client →
+// 499, a canceled job's result → 410 (the fetcher completed its request;
+// the result is just gone), unknown graph or job → 404, not-yet-finished
+// job result → 409, anything else (malformed specs, bad queries) → 400.
 func writeError(w http.ResponseWriter, err error) {
 	status := http.StatusBadRequest
 	switch {
 	case errors.Is(err, ErrQueueFull), errors.Is(err, ErrClosed):
 		status = http.StatusServiceUnavailable
+		w.Header().Set("Retry-After", retryAfterSeconds)
 	case errors.Is(err, ErrJobCanceled):
 		status = http.StatusGone
 	case errors.Is(err, context.Canceled):
@@ -262,6 +287,9 @@ func (s *Service) handleGetGraph(w http.ResponseWriter, r *http.Request) {
 func (s *Service) handleEstimate(w http.ResponseWriter, r *http.Request) {
 	var req EstimateRequest
 	if !decodeBody(w, r, &req) {
+		return
+	}
+	if s.maybeForward(w, r, "/v1/estimate", req) {
 		return
 	}
 	res, err := s.Estimate(r.Context(), req)
@@ -345,6 +373,9 @@ func parseWait(r *http.Request) (time.Duration, error) {
 func (s *Service) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
 	var req EstimateRequest
 	if !decodeBody(w, r, &req) {
+		return
+	}
+	if s.maybeForward(w, r, "/v1/jobs", req) {
 		return
 	}
 	info, err := s.SubmitEstimateJob(req)

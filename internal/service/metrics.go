@@ -280,6 +280,40 @@ func (m *metricsRecorder) bridge(st Stats) {
 		gauge("subgraph_durable_snapshot_bytes", "Current size of the durable snapshot file.", nil, float64(d.SnapshotBytes))
 	}
 
+	// Cluster serving tier (absent in single-replica mode): forwarding
+	// volume, degradation fallbacks, handoff traffic, and per-peer
+	// health/breaker state.
+	if cl := st.Cluster; cl != nil {
+		counter("subgraph_cluster_forwards_total", "Requests proxied to their ring-home replica.", nil, cl.Forwards)
+		counter("subgraph_cluster_forward_errors_total", "Transport-level forward failures (request then ran locally).", nil, cl.ForwardErrors)
+		counter("subgraph_cluster_local_fallbacks_total", "Non-owned requests served locally because their home was unavailable.", nil, cl.LocalFallbacks)
+		counter("subgraph_cluster_forwarded_served_total", "Requests served here after another replica forwarded them.", nil, cl.ForwardedServed)
+		counter("subgraph_cluster_handoff_exported_total", "Trial runs pushed to their new home during rebalancing.", nil, cl.HandoffExported)
+		counter("subgraph_cluster_handoff_imported_total", "Trial runs received from a peer during rebalancing.", nil, cl.HandoffImported)
+		gauge("subgraph_cluster_members", "Configured cluster members (self included).", nil, float64(len(cl.Members)))
+		handoff := 0.0
+		if cl.HandoffActive {
+			handoff = 1
+		}
+		gauge("subgraph_cluster_handoff_active", "Whether a handoff replay is importing runs right now (readyz is 503).", nil, handoff)
+		for _, p := range cl.Peers {
+			l := obs.Labels{"peer": p.Addr}
+			up := 0.0
+			if p.Up {
+				up = 1
+			}
+			gauge("subgraph_cluster_peer_up", "Whether the peer's last readiness probe (or forward) succeeded.", l, up)
+			open := 0.0
+			if p.BreakerOpen {
+				open = 1
+			}
+			gauge("subgraph_cluster_peer_breaker_open", "Whether the peer's circuit breaker is open (forwards fail fast to local execution).", l, open)
+			counter("subgraph_cluster_peer_breaker_trips_total", "Times the peer's circuit breaker opened.", l, p.Trips)
+			counter("subgraph_cluster_peer_forwards_total", "Requests forwarded to the peer.", l, p.Forwards)
+			counter("subgraph_cluster_peer_failures_total", "Transport-level failures forwarding to the peer.", l, p.Failures)
+		}
+	}
+
 	for name, b := range st.Engine.Backends {
 		l := obs.Labels{"backend": name}
 		counter("subgraph_engine_runs_total", "Estimations computed, by execution backend.", l, b.Runs)

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"log/slog"
+	"net/http"
 	"os"
 	"path/filepath"
 	"runtime"
@@ -13,6 +14,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/coloring"
 	"repro/internal/core"
 	"repro/internal/durable"
@@ -98,6 +100,13 @@ type Options struct {
 	// serves warm-cache hits and keeps finished jobs addressable. Use
 	// Open (not New) to surface replay I/O errors.
 	Durability DurabilityOptions
+	// Cluster, when non-nil, enables the multi-replica serving tier:
+	// estimate and job submissions whose trial stream hashes to another
+	// replica on the consistent-hash ring are proxied there (any replica
+	// accepts any request), with circuit-broken local fallback when the
+	// home is down. The binary that owns the cluster view (sgserve)
+	// injects and closes it; the service only consults it.
+	Cluster *cluster.Cluster
 }
 
 func (o Options) withDefaults() Options {
@@ -154,7 +163,9 @@ type Service struct {
 	jobs    *jobManager
 	engine  *engineTracker
 	metrics *metricsRecorder
-	durable *durable.Log // nil when Durability.Dir is unset
+	durable *durable.Log     // nil when Durability.Dir is unset
+	cluster *cluster.Cluster // nil outside cluster mode
+	fwd     *http.Client     // forwarding client; nil outside cluster mode
 	logger  *slog.Logger
 	start   time.Time
 
@@ -167,6 +178,15 @@ type Service struct {
 	precisionReqs atomic.Uint64 // precision-targeted requests resolved
 	earlyStops    atomic.Uint64 // ...that stopped below their MaxTrials bound
 	trialsSaved   atomic.Uint64 // trials the adaptive stops skipped vs MaxTrials
+
+	// Cluster-mode counters (see ClusterStats for semantics).
+	clForwards        atomic.Uint64
+	clForwardErrors   atomic.Uint64
+	clLocalFallbacks  atomic.Uint64
+	clForwardedServed atomic.Uint64
+	clHandoffExported atomic.Uint64
+	clHandoffImported atomic.Uint64
+	handoffActive     atomic.Int32 // in-progress handoff imports; /readyz is 503 while > 0
 }
 
 // New starts a service. Close releases its workers. With
@@ -202,6 +222,10 @@ func Open(opts Options) (*Service, error) {
 		metrics: newMetricsRecorder(),
 		logger:  logger,
 		start:   time.Now(),
+	}
+	if opts.Cluster != nil {
+		s.cluster = opts.Cluster
+		s.fwd = newForwardClient()
 	}
 	if err := s.setupDurable(); err != nil {
 		s.sched.Close()
@@ -1158,6 +1182,10 @@ type Stats struct {
 	// Durable is the persistence layer's counters; nil (omitted) when the
 	// service runs in-memory.
 	Durable *DurableStats `json:"durable,omitempty"`
+	// Cluster is the multi-replica serving tier's section (membership,
+	// peer health, forwarding and handoff counters); nil (omitted) in
+	// single-replica mode.
+	Cluster *ClusterStats `json:"cluster,omitempty"`
 	// HTTP is per-endpoint request latency (count, mean, p50/p95/p99),
 	// summarized from the same histograms /metrics exposes in full.
 	HTTP map[string]LatencySummary `json:"http,omitempty"`
@@ -1174,6 +1202,7 @@ func (s *Service) Stats() Stats {
 	}
 	return Stats{
 		Durable:         dur,
+		Cluster:         s.clusterStats(),
 		UptimeSeconds:   time.Since(s.start).Seconds(),
 		Estimates:       s.estimates.Load(),
 		Batches:         s.batches.Load(),

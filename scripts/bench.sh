@@ -2,16 +2,17 @@
 # Benchmark the sgserve stack end to end with cmd/sgload, and gate CI on
 # throughput regressions.
 #
-#   scripts/bench.sh           run, write BENCH_pr9.json, fail if the
+#   scripts/bench.sh           run, write BENCH_pr10.json, fail if the
 #                              serving-path (parallel backend) throughput
 #                              drops more than 25% below
-#                              scripts/bench_baseline.json, or if the
+#                              scripts/bench_baseline.json, if the
 #                              solver-bound parallel run fails to clear
 #                              1.15x the PR8 kernel baseline (the flat
-#                              signature-major layout's win)
+#                              signature-major layout's win), or if the
+#                              3-replica cluster fails its scaling floor
 #   scripts/bench.sh -update   run and overwrite the baseline instead
 #
-# Seven runs with identical seeded workloads, merged into one BENCH_pr9.json
+# Nine runs with identical seeded workloads, merged into one BENCH_pr10.json
 # at the repo root:
 #
 #   serving.{parallel,sim}  hit-ratio 0.98 — the cache/registry/jobs hot
@@ -42,6 +43,20 @@
 #                           economy: adaptive early stops (trialsSaved)
 #                           and trial-granular cache extensions
 #                           (cache.extended) must both be nonzero.
+#   serving.{cluster1,cluster3}  the serving mix against the cluster tier:
+#                           one single-member "cluster" (routing active,
+#                           every key home) versus three replicas with
+#                           sgload round-robining across all entry
+#                           points. The 3-replica aggregate must clear
+#                           BENCH_CLUSTER_GAIN x the single-replica rate
+#                           — 2.0 on multicore boxes where each replica
+#                           gets its own cores; on starved runners (< 6
+#                           cores) the default drops to an anti-collapse
+#                           floor of 0.35x, because three processes
+#                           time-slicing one core cannot scale (and most
+#                           requests pay a second hop) — the gate's job
+#                           there is only to prove forwarding does not
+#                           destroy throughput.
 #
 # The server runs under a pinned GOMAXPROCS so runs are comparable across
 # machines with different core counts; override via BENCH_* env vars. On
@@ -58,7 +73,7 @@ CONC="${BENCH_CONCURRENCY:-32}"
 SOLVER_CONC="${BENCH_SOLVER_CONCURRENCY:-8}"
 SRV_GOMAXPROCS="${BENCH_SERVER_GOMAXPROCS:-4}"
 SRV_WORKERS="${BENCH_SERVER_WORKERS:-4}"
-OUT="BENCH_pr9.json"
+OUT="BENCH_pr10.json"
 # Profiles and other non-JSON outputs land here, never at the repo root
 # (the directory is gitignored; CI uploads it as an artifact).
 ART_DIR="${BENCH_ARTIFACT_DIR:-bench_artifacts}"
@@ -76,6 +91,18 @@ PPROF_OUT="${BENCH_PPROF_OUT:-$ART_DIR/bench_cpu.pprof}"
 # Override BENCH_KERNEL_BASELINE when the runner class changes.
 KERNEL_BASELINE_RPS="${BENCH_KERNEL_BASELINE:-600.6}"
 KERNEL_GAIN="${BENCH_KERNEL_GAIN:-1.15}"
+# Cluster scaling floor: 3-replica aggregate vs single-replica, same mix.
+# Core-aware default — the 2x bar needs real cores for three server
+# processes; a starved runner only has to prove forwarding isn't ruinous.
+CORES=$(nproc 2>/dev/null || echo 1)
+if [ -n "${BENCH_CLUSTER_GAIN:-}" ]; then
+  CLUSTER_GAIN="$BENCH_CLUSTER_GAIN"
+elif [ "$CORES" -ge 6 ]; then
+  CLUSTER_GAIN=2.0
+else
+  CLUSTER_GAIN=0.35
+  echo "bench: NOTE: only $CORES core(s) — cluster gate relaxed to ${CLUSTER_GAIN}x (anti-collapse floor, not a scaling proof; override BENCH_CLUSTER_GAIN)"
+fi
 # Threshold: fail when serving throughput < 75% of baseline. Generous on
 # purpose — shared runners are noisy; this catches structural regressions
 # (an accidental global lock, an O(n) scan on the hot path), not jitter.
@@ -89,9 +116,11 @@ go build -o /tmp/sgworker ./cmd/sgworker
 
 SERVER_PID=""
 WORKER_PIDS=()
+CLUSTER_PIDS=()
 cleanup() {
   [ -n "$SERVER_PID" ] && kill "$SERVER_PID" 2>/dev/null || true
   for p in "${WORKER_PIDS[@]}"; do kill "$p" 2>/dev/null || true; done
+  for p in "${CLUSTER_PIDS[@]}"; do kill "$p" 2>/dev/null || true; done
 }
 trap cleanup EXIT
 
@@ -164,6 +193,63 @@ run_one() { # backend label outfile conc hitratio [extra sgload flags...]
   rm -f "$addrfile" ${pprof_addrfile:+"$pprof_addrfile"}
 }
 
+# Cluster replicas must know the full membership before binding (the
+# ring is a pure function of it), so they get fixed random ports with a
+# retry on collision instead of -addr :0.
+CLUSTER_MEMBERS=""
+start_cluster_replicas() { # n
+  local n="$1" ports=() port i ok
+  CLUSTER_PIDS=()
+  for i in $(seq 1 "$n"); do
+    port=$((20000 + RANDOM % 20000))
+    case " ${ports[*]-} " in *" $port "*) return 1 ;; esac
+    ports+=("$port")
+  done
+  CLUSTER_MEMBERS=$(printf "127.0.0.1:%s," "${ports[@]}")
+  CLUSTER_MEMBERS="${CLUSTER_MEMBERS%,}"
+  for port in "${ports[@]}"; do
+    GOMAXPROCS="$SRV_GOMAXPROCS" /tmp/sgserve -addr "127.0.0.1:$port" \
+      -self "127.0.0.1:$port" -peers "$CLUSTER_MEMBERS" \
+      -workers "$SRV_WORKERS" -backend parallel -log-level warn >/dev/null 2>&1 &
+    CLUSTER_PIDS+=($!)
+  done
+  for port in "${ports[@]}"; do
+    ok=""
+    for _ in $(seq 1 100); do
+      curl -fsS "http://127.0.0.1:$port/readyz" >/dev/null 2>&1 && { ok=1; break; }
+      sleep 0.1
+    done
+    if [ -z "$ok" ]; then
+      stop_cluster_replicas
+      return 1
+    fi
+  done
+}
+
+stop_cluster_replicas() {
+  for p in "${CLUSTER_PIDS[@]}"; do
+    kill "$p" 2>/dev/null || true
+    wait "$p" 2>/dev/null || true
+  done
+  CLUSTER_PIDS=()
+}
+
+run_cluster() { # n label outfile
+  local n="$1" label="$2" outfile="$3" formed=""
+  for _ in 1 2 3 4 5; do
+    start_cluster_replicas "$n" && { formed=1; break; }
+    echo "bench: cluster formation failed (port collision?), retrying" >&2
+  done
+  if [ -z "$formed" ]; then
+    echo "bench: $n-replica cluster never formed after 5 attempts" >&2
+    exit 1
+  fi
+  /tmp/sgload -endpoints "$CLUSTER_MEMBERS" -c "$CONC" -duration "$DUR" -warmup "$WARMUP" \
+    -graphs 4 -graph-n 1000 -queries path3,cycle4 -hot 8 -hit-ratio 0.98 -seed 1 \
+    -backend parallel -label "$label" -out "$outfile"
+  stop_cluster_replicas
+}
+
 run_one parallel serving-parallel /tmp/bench_serving_parallel.json "$CONC" 0.98
 run_one sim      serving-sim      /tmp/bench_serving_sim.json      "$CONC" 0.98
 # Durable serving: identical mix, but every miss also appends to the WAL.
@@ -215,17 +301,22 @@ run_one dist solver-dist /tmp/bench_solver_dist.json "$SOLVER_CONC" 0
 # trials instead of recomputing them.
 run_one parallel precision-mix /tmp/bench_precision.json "$SOLVER_CONC" 0.9 \
   -trials 3 -precision-mix "0:0.4,0.1:0.3,0.02:0.3" -max-trials 64
+# Cluster serving tier: single-member control, then three replicas with
+# round-robined entry.
+run_cluster 1 serving-cluster1 /tmp/bench_cluster1.json
+run_cluster 3 serving-cluster3 /tmp/bench_cluster3.json
 
 jq -n --argjson conc "$CONC" --argjson sconc "$SOLVER_CONC" \
   --slurpfile sp /tmp/bench_serving_parallel.json --slurpfile ss /tmp/bench_serving_sim.json \
   --slurpfile sd /tmp/bench_serving_durable.json \
   --slurpfile vp /tmp/bench_solver_parallel.json --slurpfile vs /tmp/bench_solver_sim.json \
   --slurpfile vd /tmp/bench_solver_dist.json \
-  --slurpfile pm /tmp/bench_precision.json '{
-    bench: "sgserve serving (in-memory + durable WAL) + solver paths per execution backend (incl. dist over two worker processes), plus precision-mix traffic (closed-loop sgload)",
+  --slurpfile pm /tmp/bench_precision.json \
+  --slurpfile c1 /tmp/bench_cluster1.json --slurpfile c3 /tmp/bench_cluster3.json '{
+    bench: "sgserve serving (in-memory + durable WAL + consistent-hash cluster) + solver paths per execution backend (incl. dist over two worker processes), plus precision-mix traffic (closed-loop sgload)",
     concurrency: $conc,
     solverConcurrency: $sconc,
-    serving: { parallel: $sp[0], sim: $ss[0], durable: $sd[0] },
+    serving: { parallel: $sp[0], sim: $ss[0], durable: $sd[0], cluster1: $c1[0], cluster3: $c3[0] },
     solver:  { parallel: $vp[0], sim: $vs[0], dist: $vd[0] },
     precision: $pm[0]
   }' >"$OUT"
@@ -233,8 +324,9 @@ jq -n --argjson conc "$CONC" --argjson sconc "$SOLVER_CONC" \
 summary() {
   jq -r '
     def row: "\(.label): \(.throughputRps|floor) req/s  p50 \(.latencyMs.p50Ms)ms  p99 \(.latencyMs.p99Ms)ms  jobs lockWait \(.server.jobs.lockWaitMs|floor)ms  sf lockWait \(.server.jobs.singleflight.lockWaitMs|floor)ms";
-    (.serving.parallel | row), (.serving.sim | row), (.serving.durable | row), (.solver.parallel | row), (.solver.sim | row), (.solver.dist | row), (.precision | row),
-    "precision-mix: \(.precision.server.precision.requests) targeted requests, \(.precision.server.precision.earlyStops) early stops, \(.precision.trialsSaved) trials saved, \(.precision.server.cache.extended) cache extensions (rate \(.precision.extendedRate))"
+    (.serving.parallel | row), (.serving.sim | row), (.serving.durable | row), (.serving.cluster1 | row), (.serving.cluster3 | row), (.solver.parallel | row), (.solver.sim | row), (.solver.dist | row), (.precision | row),
+    "precision-mix: \(.precision.server.precision.requests) targeted requests, \(.precision.server.precision.earlyStops) early stops, \(.precision.trialsSaved) trials saved, \(.precision.server.cache.extended) cache extensions (rate \(.precision.extendedRate))",
+    "cluster3: forward rate \(.serving.cluster3.cluster.forwardRate), server hit rate \(.serving.cluster3.cluster.cacheHitRate), \(.serving.cluster3.cluster.forwards) forwards, \(.serving.cluster3.cluster.forwardErrors) forward errors, \(.serving.cluster3.cluster.localFallbacks) local fallbacks"
   ' "$OUT"
 }
 echo "bench: wrote $OUT"
@@ -286,6 +378,31 @@ fi
 if [ "$(jq -n --argjson d "$dur" --argjson m "$mem" --argjson f "$DURABLE_FLOOR" '$d >= $f * $m')" != "true" ]; then
   echo "FAIL: durability costs more than $(jq -n --argjson f "$DURABLE_FLOOR" '100*(1-$f)')% of serving throughput" >&2
   echo "      the appender is on the hot path somewhere (fsync or encode under a service lock?)" >&2
+  exit 1
+fi
+
+# Cluster gate: the 3-replica run must actually route (forwards > 0,
+# no transport failures on an all-healthy loopback cluster) and its
+# aggregate throughput must clear the core-aware scaling floor over the
+# single-member control measured moments earlier.
+c1=$(jq -r '.serving.cluster1.throughputRps' "$OUT")
+c3=$(jq -r '.serving.cluster3.throughputRps' "$OUT")
+cfwd=$(jq -r '.serving.cluster3.cluster.forwards // 0' "$OUT")
+cfwderr=$(jq -r '.serving.cluster3.cluster.forwardErrors // 0' "$OUT")
+cfallback=$(jq -r '.serving.cluster3.cluster.localFallbacks // 0' "$OUT")
+echo "bench: cluster serving: 3 replicas $c3 req/s vs 1 replica $c1 req/s (floor ${CLUSTER_GAIN}x on $CORES cores; $cfwd forwards, $cfwderr errors, $cfallback fallbacks)"
+if [ "$cfwd" -lt 1 ]; then
+  echo "FAIL: 3-replica run never forwarded — the ring routed nothing" >&2
+  exit 1
+fi
+if [ "$cfwderr" -gt 0 ] || [ "$cfallback" -gt 0 ]; then
+  echo "FAIL: healthy loopback cluster saw $cfwderr forward errors, $cfallback local fallbacks" >&2
+  exit 1
+fi
+if [ "$(jq -n --argjson a "$c3" --argjson b "$c1" --argjson g "$CLUSTER_GAIN" '$a >= $g * $b')" != "true" ]; then
+  echo "FAIL: 3-replica throughput $c3 req/s is below ${CLUSTER_GAIN}x the single-replica rate ($c1 req/s)" >&2
+  echo "      (on multicore runners this means the cluster tier is not adding capacity;" >&2
+  echo "       on starved runners override BENCH_CLUSTER_GAIN)" >&2
   exit 1
 fi
 

@@ -6,10 +6,14 @@
 # body is byte-identical to the synchronous /v1/estimate body, that a
 # precision-targeted job stops at its golden trial count while reusing the
 # 3-trial job's cached trials (the counts prefix must replay bit-identical),
-# and that DELETE cancels a long-running job. A final durability pass
+# and that DELETE cancels a long-running job. A durability pass
 # kill -9s a -data-dir server mid-traffic and requires the restarted
 # process to serve the same golden bytes purely from WAL replay — zero
-# fresh solver runs. Requires curl and jq.
+# fresh solver runs. A final cluster pass starts three replicas with
+# consistent-hash routing, asserts the goldens are bit-identical through
+# every entry replica (with real forwarding happening), then kill -9s one
+# replica and requires the survivors to keep answering the goldens
+# without hanging. Requires curl and jq.
 set -euo pipefail
 
 GOLDEN_MATCHES="120868.05555555558"
@@ -30,8 +34,10 @@ W2_ADDR_FILE=$(mktemp -u)
 DUR_ADDR_FILE=$(mktemp -u)
 DATA_DIR=$(mktemp -d)
 SERVER_PID="" DIST_PID="" W1_PID="" W2_PID="" DUR_PID=""
+C1_PID="" C2_PID="" C3_PID=""
 cleanup() {
-  for p in "$SERVER_PID" "$DIST_PID" "$W1_PID" "$W2_PID" "$DUR_PID"; do
+  for p in "$SERVER_PID" "$DIST_PID" "$W1_PID" "$W2_PID" "$DUR_PID" \
+           "$C1_PID" "$C2_PID" "$C3_PID"; do
     [ -n "$p" ] && kill "$p" 2>/dev/null || true
   done
   rm -f "$ADDR_FILE" "$DIST_ADDR_FILE" "$W1_ADDR_FILE" "$W2_ADDR_FILE" "$DUR_ADDR_FILE"
@@ -334,4 +340,111 @@ if [ "$estimates" != 0 ]; then
   exit 1
 fi
 echo "durable: goldens + job result bit-identical after kill -9, engine ran 0 fresh estimates"
+
+# ---- cluster pass: three replicas, consistent-hash routing, one ----
+# ---- killed mid-traffic.                                        ----
+# Cluster membership must be known before any replica binds (the ring is
+# a pure function of the member list), so -addr :0 is out: pick random
+# high ports and retry the whole formation if one collides.
+start_cluster() {
+  C1_PORT=$((20000 + RANDOM % 20000))
+  C2_PORT=$((20000 + RANDOM % 20000))
+  C3_PORT=$((20000 + RANDOM % 20000))
+  if [ "$C1_PORT" = "$C2_PORT" ] || [ "$C1_PORT" = "$C3_PORT" ] || [ "$C2_PORT" = "$C3_PORT" ]; then
+    return 1
+  fi
+  MEMBERS="127.0.0.1:$C1_PORT,127.0.0.1:$C2_PORT,127.0.0.1:$C3_PORT"
+  local i=1
+  for port in "$C1_PORT" "$C2_PORT" "$C3_PORT"; do
+    /tmp/sgserve -addr "127.0.0.1:$port" -self "127.0.0.1:$port" -peers "$MEMBERS" \
+      -preload enron -scale 512 -seed 1 -log-level warn &
+    eval "C${i}_PID=$!"
+    i=$((i + 1))
+  done
+  for port in "$C1_PORT" "$C2_PORT" "$C3_PORT"; do
+    local ok=""
+    for _ in $(seq 1 100); do
+      curl -fsS "http://127.0.0.1:$port/readyz" >/dev/null 2>&1 && { ok=1; break; }
+      sleep 0.1
+    done
+    if [ -z "$ok" ]; then
+      for p in "$C1_PID" "$C2_PID" "$C3_PID"; do kill "$p" 2>/dev/null || true; done
+      C1_PID="" C2_PID="" C3_PID=""
+      return 1
+    fi
+  done
+}
+
+formed=""
+for _ in 1 2 3 4 5; do
+  start_cluster && { formed=1; break; }
+  echo "cluster: formation failed (port collision?), retrying"
+done
+[ -n "$formed" ] || { echo "FAIL: cluster never formed after 5 attempts" >&2; exit 1; }
+echo "cluster: 3 replicas ready on $MEMBERS"
+
+# The golden request through every entry replica: identical bytes
+# regardless of which replica the client happens to talk to.
+cluster_first=""
+for port in "$C1_PORT" "$C2_PORT" "$C3_PORT"; do
+  body=$(curl -fsS --max-time 60 "http://127.0.0.1:$port/v1/estimate" -d "$req")
+  if [ "$(jq -r .Matches <<<"$body")" != "$GOLDEN_MATCHES" ] ||
+     [ "$(jq -c .Counts <<<"$body")" != "$GOLDEN_COUNTS" ]; then
+    echo "FAIL: cluster estimate via :$port drifted from golden: $body" >&2
+    exit 1
+  fi
+  if [ -z "$cluster_first" ]; then
+    cluster_first="$body"
+  elif [ "$body" != "$cluster_first" ]; then
+    echo "FAIL: cluster estimate via :$port differs from first entry's bytes" >&2
+    exit 1
+  fi
+done
+echo "cluster: goldens bit-identical through all 3 entry replicas"
+
+# The routing must be real: the replicas' own counters show forwarded
+# requests, and the key was computed exactly once cluster-wide.
+total_forwards=0
+total_misses=0
+for port in "$C1_PORT" "$C2_PORT" "$C3_PORT"; do
+  cstats=$(curl -fsS "http://127.0.0.1:$port/v1/stats")
+  fwd=$(jq .cluster.forwards <<<"$cstats")
+  miss=$(jq .cache.misses <<<"$cstats")
+  total_forwards=$((total_forwards + fwd))
+  total_misses=$((total_misses + miss))
+done
+if [ "$total_forwards" -lt 1 ] || [ "$total_misses" != 1 ]; then
+  echo "FAIL: cluster routing not exercised: forwards=$total_forwards misses=$total_misses (want >=1 and exactly 1)" >&2
+  exit 1
+fi
+echo "cluster: $total_forwards forwards, 1 cluster-wide computation"
+
+# Kill one replica mid-traffic: the survivors must keep answering the
+# golden bytes — degraded to local computation when the dead replica
+# owned the key, but never a hang or an error.
+kill -9 "$C2_PID"
+wait "$C2_PID" 2>/dev/null || true
+C2_PID=""
+echo "cluster: killed -9 replica :$C2_PORT"
+
+fresh='{"graph":"enron","query":"glet1","trials":3,"seed":8}'
+survivor_first=""
+for port in "$C1_PORT" "$C3_PORT"; do
+  body=$(curl -fsS --max-time 60 "http://127.0.0.1:$port/v1/estimate" -d "$req")
+  if [ "$(jq -r .Matches <<<"$body")" != "$GOLDEN_MATCHES" ] ||
+     [ "$(jq -c .Counts <<<"$body")" != "$GOLDEN_COUNTS" ]; then
+    echo "FAIL: post-kill estimate via :$port drifted from golden: $body" >&2
+    exit 1
+  fi
+  # A never-seen key too: routing of fresh traffic must also survive the
+  # dead member, and both survivors must agree byte for byte.
+  fbody=$(curl -fsS --max-time 60 "http://127.0.0.1:$port/v1/estimate" -d "$fresh")
+  if [ -z "$survivor_first" ]; then
+    survivor_first="$fbody"
+  elif [ "$fbody" != "$survivor_first" ]; then
+    echo "FAIL: survivors disagree on fresh key after kill" >&2
+    exit 1
+  fi
+done
+echo "cluster: survivors keep serving goldens (and agree on fresh keys) after kill -9"
 echo "smoke OK"

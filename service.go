@@ -1,6 +1,9 @@
 package subgraph
 
-import "repro/internal/service"
+import (
+	"repro/internal/cluster"
+	"repro/internal/service"
+)
 
 // The serving layer: a long-running Service amortizes graph loading (a
 // reference-counted, LRU-evicted registry), whole estimations (an LRU
@@ -64,6 +67,21 @@ type (
 	// (ServiceStats.Durable, nil for in-memory services): appends, queue
 	// lag, replayed runs/jobs, compactions, fsyncs, file sizes.
 	DurableStats = service.DurableStats
+	// ClusterView is one replica's view of the multi-replica serving
+	// tier (ServiceOptions.Cluster): a deterministic consistent-hash
+	// ring over the static membership plus per-peer health and circuit
+	// breakers. Build one with NewCluster and inject it; the replica then
+	// proxies estimate/job requests whose trial stream hashes to another
+	// member, falling back to local execution when the home is down.
+	ClusterView = cluster.Cluster
+	// ClusterOptions configure a ClusterView: Self (this replica's
+	// advertised address), Members (every replica's address — identical
+	// on every replica), and the health/breaker knobs.
+	ClusterOptions = cluster.Options
+	// ClusterServiceStats is the cluster section of ServiceStats
+	// (membership, peer health, forwarding and handoff counters); nil in
+	// single-replica mode.
+	ClusterServiceStats = service.ClusterStats
 )
 
 // Job lifecycle states.
@@ -87,3 +105,11 @@ func NewService(opts ServiceOptions) *Service { return service.New(opts) }
 // or torn log tails are not errors: they are truncated and replayed
 // past, with the dropped bytes counted in ServiceStats.Durable.
 func OpenService(opts ServiceOptions) (*Service, error) { return service.Open(opts) }
+
+// NewCluster builds one replica's cluster view for
+// ServiceOptions.Cluster. The caller owns it: inject it into the
+// service, Close it on shutdown. Every replica must be configured with
+// the same member set — key→home assignment is a pure function of it,
+// which is what lets replicas agree on ownership with no coordination
+// protocol.
+func NewCluster(opts ClusterOptions) (*ClusterView, error) { return cluster.New(opts) }
